@@ -1,0 +1,409 @@
+// Benchmarks, one per table and figure of the paper's evaluation (§6),
+// plus the DESIGN.md ablations and a few micro-benchmarks. Each benchmark
+// exercises the central workload of its experiment and reports events/s;
+// `cmd/zbench` runs the full parameter sweeps and prints the paper-style
+// tables.
+package zstream_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/nfa"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// benchEngine processes the events through a fresh engine per iteration and
+// reports input throughput.
+func benchEngine(b *testing.B, q *query.Query, cfg core.Config, events []*event.Event) {
+	b.Helper()
+	b.ReportAllocs()
+	var matches uint64
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(q, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			cp := *ev
+			eng.Process(&cp)
+		}
+		eng.Flush()
+		matches = eng.Snapshot().Matches
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(matches), "matches")
+}
+
+func benchNFA(b *testing.B, q *query.Query, events []*event.Event) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := nfa.New(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// materialize matches like the tree engine does
+		m.SetEmit(func([]*event.Event) {})
+		for _, ev := range events {
+			m.Process(ev)
+		}
+		m.Flush()
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func query4() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		AND IBM.price > Sun.price
+		WITHIN 200 units`)
+}
+
+func query5() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		WITHIN 200 units`)
+}
+
+func query6() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle; Google
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun'
+		AND Oracle.name = 'Oracle' AND Google.name = 'Google'
+		AND Oracle.price > Sun.price AND Oracle.price > Google.price
+		WITHIN 100 units`)
+}
+
+func query7() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; !Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		WITHIN 200 units`)
+}
+
+func query8() *query.Query {
+	return query.MustParse(`
+		PATTERN P; J; C
+		WHERE P.desc = 'publication' AND J.desc = 'project' AND C.desc = 'courses'
+		AND P.ip = J.ip = C.ip
+		WITHIN 10 hours`)
+}
+
+func stock3(n int, sel float64, weights []float64) []*event.Event {
+	return workload.GenStocks(workload.StockSpec{
+		N: n, Seed: 8, Names: []string{"IBM", "Sun", "Oracle"}, Weights: weights,
+		FixedPrice: map[string]float64{"Sun": workload.SelectivityPrice(sel)},
+	})
+}
+
+// --- Figure 8: Query 4, selectivity 1/8, three evaluators ------------------
+
+func BenchmarkFig8Throughput(b *testing.B) {
+	q := query4()
+	events := stock3(6000, 0.125, []float64{1, 1, 1})
+	b.Run("left-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, events)
+	})
+	b.Run("right-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyRightDeep, BatchSize: 256}, events)
+	})
+	b.Run("nfa", func(b *testing.B) { benchNFA(b, q, events) })
+}
+
+// --- Figure 9: cost-model estimation over the Figure 8 sweep ---------------
+
+func BenchmarkFig9CostModel(b *testing.B) {
+	q := query4()
+	st := cost.UniformStats(q.Info, q.Within, 1.0/3)
+	shape := plan.LeftDeep(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, shape); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10: Query 5, rare-IBM rates, three evaluators ------------------
+
+func BenchmarkFig10Throughput(b *testing.B) {
+	q := query5()
+	events := workload.GenStocks(workload.StockSpec{
+		N: 6000, Seed: 10, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights: []float64{1, 8, 8}})
+	b.Run("left-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, events)
+	})
+	b.Run("right-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyRightDeep, BatchSize: 256}, events)
+	})
+	b.Run("nfa", func(b *testing.B) { benchNFA(b, q, events) })
+}
+
+// --- Figure 11: cost-model estimation over the Figure 10 sweep -------------
+
+func BenchmarkFig11CostModel(b *testing.B) {
+	q := query5()
+	st := cost.UniformStats(q.Info, q.Within, 1.0/3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, plan.RightDeep(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12 / Table 3: Query 6 plans ------------------------------------
+
+func fig12Events(n int) []*event.Event {
+	return workload.GenStocks(workload.StockSpec{
+		N: n, Seed: 13, Names: []string{"IBM", "Sun", "Oracle", "Google"},
+		Weights: []float64{1, 1, 1, 1},
+		FixedPrice: map[string]float64{
+			"Sun":    workload.SelectivityPrice(1.0 / 50),
+			"Google": workload.SelectivityPrice(1),
+		}})
+}
+
+func BenchmarkFig12Throughput(b *testing.B) {
+	q := query6()
+	events := fig12Events(8000)
+	shapes := map[string]string{
+		"left-deep": "(((0 1) 2) 3)", "right-deep": "(0 (1 (2 3)))",
+		"bushy": "((0 1) (2 3))", "inner": "(0 ((1 2) 3))",
+	}
+	for _, name := range []string{"left-deep", "right-deep", "bushy", "inner"} {
+		sh, err := plan.ParseShape(shapes[name])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchEngine(b, q, core.Config{Strategy: core.StrategyFixed, Shape: sh, BatchSize: 256}, events)
+		})
+	}
+	b.Run("nfa", func(b *testing.B) { benchNFA(b, q, events) })
+}
+
+func BenchmarkFig13CostModel(b *testing.B) {
+	q := query6()
+	st := cost.UniformStats(q.Info, q.Within, 0.25)
+	sh, err := plan.ParseShape("(0 ((1 2) 3))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, sh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Memory(b *testing.B) {
+	q := query6()
+	events := fig12Events(8000)
+	var peak int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			cp := *ev
+			eng.Process(&cp)
+		}
+		eng.Flush()
+		peak = eng.Snapshot().PeakMemBytes
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+}
+
+// --- Figure 14: adaptation ---------------------------------------------------
+
+func BenchmarkFig14Adaptive(b *testing.B) {
+	q := query6()
+	seg1 := workload.GenStocks(workload.StockSpec{
+		N: 4000, Seed: 12, Names: []string{"IBM", "Sun", "Oracle", "Google"},
+		Weights: []float64{1, 100, 100, 100}})
+	seg2 := fig12Events(4000)
+	all := workload.Concat(seg1, seg2)
+	benchEngine(b, q, core.Config{Strategy: core.StrategyOptimal, Adaptive: true,
+		AdaptEvery: 2, BatchSize: 256, DriftThreshold: 0.3, ImproveThreshold: 0.05}, all)
+}
+
+// --- Figures 15/16: negation placement --------------------------------------
+
+func BenchmarkFig15Negation(b *testing.B) {
+	q := query7()
+	events := workload.GenStocks(workload.StockSpec{
+		N: 20000, Seed: 15, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights: []float64{1, 1, 20}})
+	b.Run("nseq", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, Negation: plan.NegPushdown, BatchSize: 256}, events)
+	})
+	b.Run("neg-on-top", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, Negation: plan.NegTop, BatchSize: 256}, events)
+	})
+}
+
+func BenchmarkFig16Negation(b *testing.B) {
+	q := query7()
+	events := workload.GenStocks(workload.StockSpec{
+		N: 20000, Seed: 16, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights: []float64{1, 20, 1}})
+	b.Run("nseq", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, Negation: plan.NegPushdown, BatchSize: 256}, events)
+	})
+	b.Run("neg-on-top", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, Negation: plan.NegTop, BatchSize: 256}, events)
+	})
+}
+
+// --- Table 4 / Figure 17 / Table 5: web log ---------------------------------
+
+func BenchmarkTable4WeblogGen(b *testing.B) {
+	b.ReportAllocs()
+	var counts workload.WeblogCounts
+	for i := 0; i < b.N; i++ {
+		_, counts = workload.GenWeblog(workload.WeblogSpec{N: 50_000, Seed: 17})
+	}
+	b.ReportMetric(float64(counts.Publications), "publications")
+}
+
+func weblogBenchEvents() []*event.Event {
+	n := 100_000
+	span := int64(float64(30*24*3_600_000) * float64(n) / 1_500_000)
+	events, _ := workload.GenWeblog(workload.WeblogSpec{N: n, Seed: 17, SpanTicks: span})
+	return events
+}
+
+func BenchmarkFig17Weblog(b *testing.B) {
+	q := query8()
+	events := weblogBenchEvents()
+	b.Run("left-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, events)
+	})
+	b.Run("right-deep", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyRightDeep, BatchSize: 256}, events)
+	})
+	b.Run("nfa", func(b *testing.B) { benchNFA(b, q, events) })
+}
+
+func BenchmarkTable5WeblogMemory(b *testing.B) {
+	q := query8()
+	events := weblogBenchEvents()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			cp := *ev
+			eng.Process(&cp)
+		}
+		eng.Flush()
+		peak = eng.Snapshot().PeakMemBytes
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "peak-MB")
+}
+
+// --- §5.2.3: optimizer timing ------------------------------------------------
+
+func BenchmarkOptimizerDP20(b *testing.B) {
+	pat := "C0"
+	for i := 1; i < 20; i++ {
+		pat += fmt.Sprintf(";C%d", i)
+	}
+	q := query.MustParse("PATTERN " + pat + " WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.Optimize(q, st, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations ----------------------------------------------------------------
+
+func BenchmarkAblationHashEquality(b *testing.B) {
+	q := query.MustParse(`
+		PATTERN T1; T2; T3
+		WHERE T1.name = T3.name AND T1.price > T2.price
+		WITHIN 200 units`)
+	names := make([]string, 64)
+	weights := make([]float64, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	events := workload.GenStocks(workload.StockSpec{N: 8000, Seed: 21, Names: names, Weights: weights})
+	b.Run("scan", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, events)
+	})
+	b.Run("hash", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, UseHash: true, BatchSize: 256}, events)
+	})
+}
+
+func BenchmarkAblationEAT(b *testing.B) {
+	q := query4()
+	events := stock3(6000, 0.25, []float64{1, 1, 1})
+	b.Run("on", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}, events)
+	})
+	b.Run("off", func(b *testing.B) {
+		benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256, DisableEAT: true}, events)
+	})
+}
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	q := query4()
+	events := stock3(6000, 0.25, []float64{1, 1, 1})
+	for _, bs := range []int{1, 64, 512} {
+		bs := bs
+		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
+			benchEngine(b, q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: bs}, events)
+		})
+	}
+}
+
+// --- micro-benchmarks -----------------------------------------------------------
+
+func BenchmarkMicroParse(b *testing.B) {
+	src := `PATTERN T1;T2;T3 WHERE T1.name = T3.name AND T2.name='Google'
+		AND T1.price > 1.05 * T2.price WITHIN 10 secs RETURN T1, T2, T3`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroLeafInsert(b *testing.B) {
+	q := query.MustParse(`PATTERN A;B WHERE A.name='IBM' WITHIN 100`)
+	eng, err := core.NewEngine(q, core.Config{BatchSize: 1 << 30}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := event.NewStock(1, 1, 1, "IBM", 10, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := *ev
+		cp.Ts = int64(i)
+		eng.Process(&cp)
+	}
+}

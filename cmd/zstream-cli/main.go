@@ -1,0 +1,172 @@
+// Command zstream-cli runs one CEP query over a CSV event file and prints
+// the matches.
+//
+// The CSV's first row names the attributes; one column must be "ts" (the
+// event timestamp in ticks). Remaining columns become event attributes:
+// values parsing as numbers are numeric, everything else is a string.
+//
+// Usage:
+//
+//	zstream-cli -query "PATTERN A;B WHERE A.name='x' ... WITHIN 100" events.csv
+//	zstream-cli -query-file q.txt -explain events.csv
+//	cat events.csv | zstream-cli -query "..." -
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	zstream "repro"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "query text")
+		queryFile = flag.String("query-file", "", "file containing the query")
+		explain   = flag.Bool("explain", false, "print the physical plan before running")
+		adaptive  = flag.Bool("adaptive", false, "enable plan adaptation")
+		disorder  = flag.Int64("max-disorder", 0, "tolerated timestamp disorder in ticks")
+		quiet     = flag.Bool("quiet", false, "suppress per-match output; print only the summary")
+	)
+	flag.Parse()
+
+	if *queryText == "" && *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		fail(err)
+		*queryText = string(b)
+	}
+	if *queryText == "" {
+		fmt.Fprintln(os.Stderr, "zstream-cli: -query or -query-file required")
+		os.Exit(2)
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "zstream-cli: exactly one event file (or '-') required")
+		os.Exit(2)
+	}
+
+	q, err := zstream.Compile(*queryText)
+	fail(err)
+
+	var in io.Reader = os.Stdin
+	if flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		fail(err)
+		defer f.Close()
+		in = f
+	}
+
+	matches := 0
+	opts := []zstream.Option{zstream.OnMatch(func(m *zstream.Match) {
+		matches++
+		if *quiet {
+			return
+		}
+		fmt.Print(renderMatch(m))
+	})}
+	if *adaptive {
+		opts = append(opts, zstream.WithAdaptation())
+	}
+	if *disorder > 0 {
+		opts = append(opts, zstream.WithMaxDisorder(*disorder))
+	}
+	eng, err := zstream.NewEngine(q, opts...)
+	fail(err)
+	if *explain {
+		fmt.Fprint(os.Stderr, eng.Explain())
+	}
+
+	n, err := feedCSV(eng, in)
+	fail(err)
+	eng.Flush()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "events=%d matches=%d rounds=%d peak-mem=%.2fMB\n",
+		n, matches, st.Rounds, float64(st.PeakMemBytes)/(1<<20))
+}
+
+func feedCSV(eng *zstream.Engine, in io.Reader) (int, error) {
+	r := csv.NewReader(in)
+	r.TrimLeadingSpace = true
+	header, err := r.Read()
+	if err != nil {
+		return 0, fmt.Errorf("read header: %w", err)
+	}
+	tsCol := -1
+	var attrs []string
+	var cols []int
+	for i, h := range header {
+		if strings.EqualFold(h, "ts") {
+			tsCol = i
+			continue
+		}
+		attrs = append(attrs, h)
+		cols = append(cols, i)
+	}
+	if tsCol < 0 {
+		return 0, fmt.Errorf("no 'ts' column in header %v", header)
+	}
+	schema, err := zstream.NewSchema("csv", attrs...)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		row, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		ts, err := strconv.ParseInt(strings.TrimSpace(row[tsCol]), 10, 64)
+		if err != nil {
+			return n, fmt.Errorf("row %d: bad ts %q", n+2, row[tsCol])
+		}
+		vals := make([]zstream.Value, len(cols))
+		for k, ci := range cols {
+			cell := strings.TrimSpace(row[ci])
+			if f, err := strconv.ParseFloat(cell, 64); err == nil {
+				vals[k] = zstream.Float(f)
+			} else {
+				vals[k] = zstream.Str(cell)
+			}
+		}
+		ev, err := zstream.NewEvent(schema, ts, vals...)
+		if err != nil {
+			return n, err
+		}
+		eng.Process(ev)
+		n++
+	}
+}
+
+func renderMatch(m *zstream.Match) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "match [%d..%d]", m.Start, m.End)
+	for _, f := range m.Fields {
+		fmt.Fprintf(&b, " %s=", f.Name)
+		if len(f.Events) > 0 {
+			for i, e := range f.Events {
+				if i > 0 {
+					b.WriteByte('+')
+				}
+				fmt.Fprintf(&b, "@%d", e.Ts)
+			}
+		} else {
+			b.WriteString(f.Value.String())
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zstream-cli:", err)
+		os.Exit(1)
+	}
+}

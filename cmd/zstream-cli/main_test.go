@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	zstream "repro"
+)
+
+const csvInput = `ts,kind,price
+1,A,10
+2,B,20
+3,A,30
+4,B,5
+`
+
+func TestFeedCSV(t *testing.T) {
+	q, err := zstream.Compile(`
+		PATTERN A;B
+		WHERE A.kind='A' AND B.kind='B' AND B.price > A.price
+		WITHIN 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	eng, err := zstream.NewEngine(q, zstream.OnMatch(func(m *zstream.Match) {
+		rendered = append(rendered, renderMatch(m))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := feedCSV(eng, strings.NewReader(csvInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	if n != 4 {
+		t.Errorf("events = %d", n)
+	}
+	// matches: (1,2) 20>10 yes; (1,4) 5>10 no; (3,4) 5>30 no
+	if len(rendered) != 1 {
+		t.Fatalf("matches = %d: %v", len(rendered), rendered)
+	}
+	if !strings.Contains(rendered[0], "match [1..2]") {
+		t.Errorf("rendered = %q", rendered[0])
+	}
+}
+
+func TestFeedCSVErrors(t *testing.T) {
+	q := zstream.MustCompile("PATTERN A;B WITHIN 10")
+	eng, err := zstream.NewEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// missing ts column
+	if _, err := feedCSV(eng, strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("missing ts accepted")
+	}
+	// bad ts value
+	if _, err := feedCSV(eng, strings.NewReader("ts,a\nxyz,1\n")); err == nil {
+		t.Error("bad ts accepted")
+	}
+	// empty input (no header)
+	if _, err := feedCSV(eng, strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestRenderMatchValueFields(t *testing.T) {
+	q := zstream.MustCompile(`
+		PATTERN A;B WHERE A.kind='A' AND B.kind='B'
+		WITHIN 100 RETURN A.price + B.price AS total`)
+	var out string
+	eng, err := zstream.NewEngine(q, zstream.OnMatch(func(m *zstream.Match) {
+		out = renderMatch(m)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := feedCSV(eng, strings.NewReader("ts,kind,price\n1,A,10\n2,B,5\n")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush()
+	if !strings.Contains(out, "total=15") {
+		t.Errorf("rendered = %q", out)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: compile a simple sequential pattern, feed a handful of stock
+// ticks, and print the matches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zstream "repro"
+)
+
+func main() {
+	// A price spike: any stock rising more than 10% between two
+	// consecutive observations of the same symbol within 5 seconds.
+	q, err := zstream.Compile(`
+		PATTERN Low; High
+		WHERE Low.name = High.name
+		  AND High.price > 1.10 * Low.price
+		WITHIN 5 secs
+		RETURN Low, High, High.price - Low.price AS jump`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := zstream.NewEngine(q, zstream.OnMatch(func(m *zstream.Match) {
+		low := m.Fields[0].Events[0]
+		high := m.Fields[1].Events[0]
+		fmt.Printf("spike on %s: %.2f -> %.2f (jump %.2f) within %dms\n",
+			low.Get("name").S, low.Get("price").F, high.Get("price").F,
+			m.Fields[2].Value.F, m.End-m.Start)
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("physical plan:")
+	fmt.Print(eng.Explain())
+
+	ticks := []struct {
+		ts    int64
+		name  string
+		price float64
+	}{
+		{1000, "IBM", 100}, {1500, "Sun", 50}, {2000, "IBM", 103},
+		{2500, "Sun", 58}, {3000, "IBM", 114}, {9000, "IBM", 140},
+	}
+	for i, t := range ticks {
+		eng.Process(zstream.NewStock(uint64(i+1), t.ts, int64(i), t.name, t.price, 100))
+	}
+	eng.Flush()
+
+	st := eng.Stats()
+	fmt.Printf("processed %d events, %d matches, %d assembly rounds\n",
+		st.Events, st.Matches, st.Rounds)
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestDifferentialDisableEAT(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND A.price > B.price
+		WITHIN 25`)
+	events := genStream(99, 300, []string{"A", "B", "C"})
+	want := refKeys(t, q, events)
+	on := runEngine(t, q, Config{Strategy: StrategyLeftDeep, BatchSize: 16}, events)
+	off := runEngine(t, q, Config{Strategy: StrategyLeftDeep, BatchSize: 16, DisableEAT: true}, events)
+	if !equalKeys(on, want) {
+		t.Errorf("EAT on diverges from oracle:\n%s", diff(on, want))
+	}
+	if !equalKeys(off, want) {
+		t.Errorf("EAT off diverges from oracle:\n%s", diff(off, want))
+	}
+}

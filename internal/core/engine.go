@@ -1,0 +1,496 @@
+// Package core is the ZStream execution engine: the batch-iterator model of
+// §4.3 (idle rounds accumulate primitive events; assembly rounds fire when
+// the final event class has new instances, push the EAT down to every
+// buffer, and assemble leaves-to-root) plus the on-the-fly plan adaptation
+// of §5.3.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/operator"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Strategy selects how the initial plan shape is chosen.
+type Strategy int
+
+const (
+	// StrategyOptimal runs the Algorithm 5 search with the configured (or
+	// uniform default) statistics.
+	StrategyOptimal Strategy = iota
+	// StrategyLeftDeep always builds the left-deep tree.
+	StrategyLeftDeep
+	// StrategyRightDeep always builds the right-deep tree.
+	StrategyRightDeep
+	// StrategyFixed uses Config.Shape verbatim.
+	StrategyFixed
+)
+
+// Config tunes the engine.
+type Config struct {
+	// BatchSize is the number of primitive events accumulated per idle
+	// round before assembly is attempted (§4.3). Default 64.
+	BatchSize int
+	// Strategy picks the initial plan shape.
+	Strategy Strategy
+	// Shape is the explicit shape for StrategyFixed.
+	Shape *plan.Shape
+	// Negation picks NSEQ push-down vs NEG-on-top (§4.4.2); with
+	// StrategyOptimal and NegAuto the optimizer costs both.
+	Negation plan.NegPlacement
+	// UseHash enables hash-based equality predicates (§5.2.2).
+	UseHash bool
+	// Stats seeds the optimizer; nil uses uniform defaults.
+	Stats *cost.Stats
+
+	// Adaptive enables plan adaptation (§5.3).
+	Adaptive bool
+	// AdaptEvery re-checks statistics every N batches (default 16).
+	AdaptEvery int
+	// DriftThreshold is t: relative statistic change that triggers a
+	// re-plan (default 0.5).
+	DriftThreshold float64
+	// ImproveThreshold is c: minimum predicted relative cost improvement
+	// required to install the new plan (default 0.2).
+	ImproveThreshold float64
+
+	// MaxDisorder, when positive, inserts a reordering stage (§4.1) that
+	// tolerates events arriving up to MaxDisorder ticks late.
+	MaxDisorder int64
+
+	// StatsSeed seeds the sampling collector (default 1).
+	StatsSeed int64
+
+	// DisableEAT turns off earliest-allowed-timestamp push-down (§4.3),
+	// for ablation benchmarks only: buffers are pruned by a lagging
+	// horizon instead and stale records are filtered by window checks.
+	DisableEAT bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 16
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.5
+	}
+	if c.ImproveThreshold <= 0 {
+		c.ImproveThreshold = 0.2
+	}
+	if c.StatsSeed == 0 {
+		c.StatsSeed = 1
+	}
+	return c
+}
+
+// Field is one RETURN-clause output.
+type Field struct {
+	Name string
+	// Events holds the matched event(s) for whole-class items.
+	Events []*event.Event
+	// Value holds the computed value for expression items.
+	Value event.Value
+}
+
+// Match is one detected composite event.
+type Match struct {
+	Start, End int64
+	Fields     []Field
+}
+
+// Engine runs one query over a stream of primitive events.
+type Engine struct {
+	q    *query.Query
+	cfg  Config
+	plan *plan.Plan
+	emit func(*Match)
+
+	retNames []string
+	retClass []int // class index for whole-class items, else -1
+	retEval  []expr.Evaluator
+
+	collector *stats.Collector
+	planStats *cost.Stats // statistics snapshot the current plan was chosen with
+	planCost  float64
+
+	reorder *operator.Reorderer
+
+	seq        uint64
+	now        int64
+	batchCount int
+	batchFill  int
+	finalSet   map[int]bool
+
+	matches  uint64
+	rounds   uint64
+	switches uint64
+	peakMem  int64
+
+	recTap func(*buffer.Record)
+}
+
+// SetRecordTap installs a callback receiving every emitted root record
+// (tests and experiment harnesses; cheaper than building Matches).
+func (e *Engine) SetRecordTap(f func(*buffer.Record)) { e.recTap = f }
+
+// NewEngine compiles q into an executable engine; emit receives matches in
+// end-time order.
+func NewEngine(q *query.Query, cfg Config, emit func(*Match)) (*Engine, error) {
+	if q.Info == nil {
+		return nil, fmt.Errorf("core: query not analyzed")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{q: q, cfg: cfg, emit: emit, now: math.MinInt64 / 2}
+
+	shape, negMode, err := e.chooseShape(cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(q, shape, plan.Options{
+		Negation: negMode, UseHash: cfg.UseHash, Adaptive: cfg.Adaptive,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.plan = p
+
+	if err := e.compileReturn(); err != nil {
+		return nil, err
+	}
+	e.finalSet = map[int]bool{}
+	for _, c := range q.Info.FinalClasses {
+		e.finalSet[c] = true
+	}
+	if cfg.MaxDisorder > 0 {
+		e.reorder = operator.NewReorderer(cfg.MaxDisorder)
+	}
+	if cfg.Adaptive {
+		e.collector = stats.NewCollector(q.Info, q.Within/2, 8, cfg.StatsSeed)
+		for cls, leaf := range p.Leaves {
+			cls := cls
+			leaf.SetObserver(func(ev *event.Event, passed bool) {
+				e.collector.Observe(cls, ev, passed)
+			})
+		}
+		e.planStats = cfg.Stats
+		if e.planStats == nil {
+			e.planStats = cost.UniformStats(q.Info, q.Within, 1)
+		}
+		if r, err := optimizer.Optimize(q, e.planStats, cfg.UseHash); err == nil {
+			e.planCost = r.Estimate.Cost
+		}
+	}
+	return e, nil
+}
+
+// chooseShape picks the initial shape per the strategy.
+func (e *Engine) chooseShape(st *cost.Stats) (*plan.Shape, plan.NegPlacement, error) {
+	negMode := e.cfg.Negation
+	units, _, err := plan.Units(e.q.Info, negMode)
+	if err != nil {
+		return nil, negMode, err
+	}
+	switch e.cfg.Strategy {
+	case StrategyLeftDeep:
+		return plan.LeftDeep(len(units)), negMode, nil
+	case StrategyRightDeep:
+		return plan.RightDeep(len(units)), negMode, nil
+	case StrategyFixed:
+		if e.cfg.Shape == nil {
+			return nil, negMode, fmt.Errorf("core: StrategyFixed requires Config.Shape")
+		}
+		return e.cfg.Shape, negMode, nil
+	default:
+		if st == nil {
+			st = cost.UniformStats(e.q.Info, e.q.Within, 1)
+		}
+		r, err := optimizer.Optimize(e.q, st, e.cfg.UseHash)
+		if err != nil {
+			return nil, negMode, err
+		}
+		if negMode == plan.NegAuto {
+			negMode = r.Negation
+		}
+		return r.Shape, negMode, nil
+	}
+}
+
+// compileReturn prepares the RETURN-clause evaluators.
+func (e *Engine) compileReturn() error {
+	for _, item := range e.q.Return {
+		name := item.As
+		if name == "" {
+			name = item.String()
+		}
+		if ar, ok := item.Expr.(*query.AttrRef); ok && ar.Attr == "" {
+			e.retNames = append(e.retNames, name)
+			e.retClass = append(e.retClass, ar.Class)
+			e.retEval = append(e.retEval, nil)
+			continue
+		}
+		ev, err := expr.Compile(item.Expr)
+		if err != nil {
+			return err
+		}
+		e.retNames = append(e.retNames, name)
+		e.retClass = append(e.retClass, -1)
+		e.retEval = append(e.retEval, ev)
+	}
+	return nil
+}
+
+// Process feeds one primitive event. Events must arrive in non-decreasing
+// timestamp order unless MaxDisorder is configured.
+func (e *Engine) Process(ev *event.Event) {
+	if e.reorder != nil {
+		for _, r := range e.reorder.Push(ev) {
+			e.ingest(r)
+		}
+		return
+	}
+	e.ingest(ev)
+}
+
+func (e *Engine) ingest(ev *event.Event) {
+	e.seq++
+	ev.Seq = e.seq
+	if ev.Ts > e.now {
+		e.now = ev.Ts
+	}
+	e.insert(ev)
+	e.batchFill++
+	if e.batchFill >= e.cfg.BatchSize {
+		e.endBatch(e.now)
+	}
+}
+
+// insert routes the event to every leaf of its classes. All classes read
+// the same input stream; leaf filters decide membership (§4.1).
+func (e *Engine) insert(ev *event.Event) {
+	for _, leaf := range e.plan.Leaves {
+		leaf.Insert(ev)
+	}
+}
+
+// endBatch closes the current idle round and runs an assembly round if the
+// final event class has new instances (§4.3 steps 2-4).
+func (e *Engine) endBatch(now int64) {
+	e.batchFill = 0
+	e.batchCount++
+	if eat, ok := e.triggerEAT(); ok {
+		e.assemble(eat, now)
+	}
+	if e.cfg.Adaptive && e.batchCount%e.cfg.AdaptEvery == 0 {
+		e.maybeAdapt()
+	}
+}
+
+// triggerEAT reports whether an assembly round should run and computes the
+// earliest allowed timestamp: the earliest end-timestamp of unconsumed
+// final-class events minus the window (§4.3).
+func (e *Engine) triggerEAT() (int64, bool) {
+	minEnd := int64(math.MaxInt64)
+	found := false
+	for _, c := range e.q.Info.FinalClasses {
+		b := e.plan.Leaves[c].Out()
+		if b.Unconsumed() == 0 {
+			continue
+		}
+		if end := b.At(b.Cursor()).End; end < minEnd {
+			minEnd = end
+		}
+		found = true
+	}
+	if !found {
+		return 0, false
+	}
+	return minEnd - e.q.Within, true
+}
+
+// assemble runs one assembly round and drains matches from the root.
+func (e *Engine) assemble(eat, now int64) {
+	e.rounds++
+	if e.cfg.DisableEAT {
+		// ablation: no EAT push-down; evict only far behind the stream
+		// (4 windows, from stream time — the now parameter is +inf during
+		// Flush) to keep memory finite.
+		eat = e.now - 4*e.q.Within
+	}
+	for _, b := range e.plan.Buffers {
+		b.EvictBefore(eat)
+	}
+	e.plan.Root.Assemble(eat, now)
+	e.drain()
+	if m := e.liveMemory(); m > e.peakMem {
+		e.peakMem = m
+	}
+}
+
+// drain emits new root records as matches.
+func (e *Engine) drain() {
+	out := e.plan.Root.Out()
+	for i := out.Cursor(); i < out.Len(); i++ {
+		rec := out.At(i)
+		if !e.plan.EmitOK(rec) {
+			continue
+		}
+		e.matches++
+		if e.recTap != nil {
+			e.recTap(rec)
+		}
+		if e.emit != nil {
+			e.emit(e.toMatch(rec))
+		}
+	}
+	out.Consume()
+	out.DropConsumedPrefix()
+}
+
+func (e *Engine) toMatch(rec *buffer.Record) *Match {
+	m := &Match{Start: rec.Start, End: rec.End}
+	env := expr.RecordEnv{R: rec}
+	for i, name := range e.retNames {
+		f := Field{Name: name}
+		if cls := e.retClass[i]; cls >= 0 {
+			s := rec.Slots[cls]
+			if s.E != nil {
+				f.Events = []*event.Event{s.E}
+			} else {
+				f.Events = s.Group
+			}
+		} else {
+			f.Value = e.retEval[i](env)
+		}
+		m.Fields = append(m.Fields, f)
+	}
+	return m
+}
+
+// Flush forces a final assembly round with an infinite horizon so trailing
+// negations and closures confirm, then drains remaining matches.
+func (e *Engine) Flush() {
+	if e.reorder != nil {
+		for _, r := range e.reorder.Flush() {
+			e.ingest(r)
+		}
+	}
+	eat, ok := e.triggerEAT()
+	if !ok {
+		eat = e.now - e.q.Within
+	}
+	e.assemble(eat, math.MaxInt64/2)
+	e.batchFill = 0
+}
+
+// maybeAdapt re-runs the plan search when statistics drifted beyond t and
+// installs the new plan when it predicts an improvement beyond c (§5.3).
+func (e *Engine) maybeAdapt() {
+	cur := e.collector.Snapshot(e.q.Within, e.now)
+	if e.planStats != nil && !stats.Drifted(e.planStats, cur, e.cfg.DriftThreshold) {
+		return
+	}
+	r, err := optimizer.Optimize(e.q, cur, e.cfg.UseHash)
+	if err != nil {
+		return
+	}
+	// estimate the current plan's cost under the NEW statistics
+	curEst, err := optimizer.EstimateShape(e.q, cur, e.cfg.UseHash, e.plan.Opts.Negation, e.plan.Shape)
+	if err != nil {
+		return
+	}
+	e.planStats = cur
+	if sameShape(r.Shape, e.plan.Shape) && r.Negation == e.plan.Opts.Negation {
+		e.planCost = r.Estimate.Cost
+		return
+	}
+	if r.Estimate.Cost >= curEst.Cost*(1-e.cfg.ImproveThreshold) {
+		return
+	}
+	e.switchPlan(r)
+}
+
+// switchPlan installs a new plan: intermediate state is discarded, leaf
+// buffers are kept, and non-final leaf cursors rewind so the next assembly
+// round rebuilds intermediate results "as if it were the first round"
+// (§5.3). Final-class cursors are kept, which makes switching duplicate-
+// free: every output needs a not-yet-consumed final-class event.
+func (e *Engine) switchPlan(r *optimizer.Result) {
+	newPlan, err := plan.Build(e.q, r.Shape, plan.Options{
+		Negation: r.Negation, UseHash: e.cfg.UseHash, Adaptive: true,
+	}, e.plan.Leaves)
+	if err != nil {
+		return
+	}
+	for cls, leaf := range e.plan.Leaves {
+		if !e.finalSet[cls] {
+			leaf.Out().ResetCursor()
+		}
+	}
+	e.plan = newPlan
+	e.planCost = r.Estimate.Cost
+	e.switches++
+}
+
+// liveMemory approximates the bytes held by live buffer records (the
+// deterministic peak-memory metric of §6.2).
+func (e *Engine) liveMemory() int64 {
+	var recs, slots int64
+	for _, b := range e.plan.Buffers {
+		n := int64(b.Len())
+		recs += n
+		slots += n * int64(e.q.Info.NumClasses())
+	}
+	// Record header ~48B, slot ~32B (event pointer + group header).
+	return recs*48 + slots*32
+}
+
+// Stats reports engine counters.
+type EngineStats struct {
+	Matches      uint64
+	Rounds       uint64
+	PlanSwitches uint64
+	PeakMemBytes int64
+	Events       uint64
+}
+
+// Snapshot returns the engine counters.
+func (e *Engine) Snapshot() EngineStats {
+	return EngineStats{
+		Matches: e.matches, Rounds: e.rounds, PlanSwitches: e.switches,
+		PeakMemBytes: e.peakMem, Events: e.seq,
+	}
+}
+
+// Plan exposes the current physical plan (EXPLAIN, tests).
+func (e *Engine) Plan() *plan.Plan { return e.plan }
+
+// Now returns the largest timestamp observed.
+func (e *Engine) Now() int64 { return e.now }
+
+func sameShape(a, b *plan.Shape) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if (a.Unit >= 0) != (b.Unit >= 0) || a.Unit != b.Unit {
+		return false
+	}
+	if a.Unit >= 0 {
+		return true
+	}
+	return sameShape(a.L, b.L) && sameShape(a.R, b.R)
+}

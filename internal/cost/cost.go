@@ -1,0 +1,323 @@
+// Package cost implements the ZStream cost model of §5.1: Formula (1)
+// C = Ci + (n·k)·Ci + p·Co per operator, with the per-operator input and
+// output cost formulas of Table 2 and the terminology of Table 1
+// (CARD_E = R_E · TW_p · P_E, implicit time-predicate selectivity Pt, and
+// multi-class predicate selectivity P_{E1,E2}).
+//
+// The estimator works over planning units and shapes from internal/plan,
+// generalizing operand cardinalities to sub-plans by substituting operator
+// output cardinality, exactly as §5.1 prescribes.
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Default weights, experimentally determined by the paper.
+const (
+	// K weighs predicate-evaluation cost against input access (§5.1).
+	K = 0.25
+	// P weighs output assembly cost (§5.1).
+	P = 1.0
+	// DefaultTimeSel is the default selectivity Pt of the implicit time
+	// predicate E1.end-ts < E2.start-ts (Table 1).
+	DefaultTimeSel = 0.5
+	// DefaultPredSel is the selectivity assumed for predicates with no
+	// statistics.
+	DefaultPredSel = 0.5
+)
+
+// Stats supplies the statistics of Table 1 for one query.
+type Stats struct {
+	// Window is the query's TW_p in ticks.
+	Window float64
+	// Rate[c] is R_E: events of class c per tick, before leaf filters.
+	Rate []float64
+	// SingleSel[c] is P_E: combined selectivity of the pushed-down
+	// single-class predicates of class c (1 when none).
+	SingleSel []float64
+	// PredSel[i] is the selectivity of the i-th multi-class predicate of
+	// the query (parallel to Info.Preds). Entries <= 0 fall back to
+	// DefaultPredSel.
+	PredSel []float64
+	// TimeSel overrides Pt; 0 means DefaultTimeSel.
+	TimeSel float64
+}
+
+// UniformStats builds a Stats with identical rates, no single-class
+// filtering, and default predicate selectivities — a neutral starting point
+// that callers refine.
+func UniformStats(in *query.Info, window int64, rate float64) *Stats {
+	n := in.NumClasses()
+	s := &Stats{Window: float64(window), Rate: make([]float64, n), SingleSel: make([]float64, n),
+		PredSel: make([]float64, len(in.Preds))}
+	for i := 0; i < n; i++ {
+		s.Rate[i] = rate
+		s.SingleSel[i] = 1
+	}
+	for i := range s.PredSel {
+		s.PredSel[i] = -1
+	}
+	return s
+}
+
+func (s *Stats) pt() float64 {
+	if s.TimeSel > 0 {
+		return s.TimeSel
+	}
+	return DefaultTimeSel
+}
+
+func (s *Stats) predSel(i int) float64 {
+	if i < len(s.PredSel) && s.PredSel[i] > 0 {
+		return s.PredSel[i]
+	}
+	return DefaultPredSel
+}
+
+// ClassCard returns CARD_E = R_E * TW_p * P_E for class c.
+func (s *Stats) ClassCard(c int) float64 {
+	return s.Rate[c] * s.Window * s.SingleSel[c]
+}
+
+// Estimate is the costed summary of a (sub-)plan.
+type Estimate struct {
+	// Card is the output cardinality per window (CARD_O).
+	Card float64
+	// Cost is the summed operator cost of the sub-plan per Formula (1).
+	Cost float64
+}
+
+// Estimator estimates plan costs for one analyzed query.
+type Estimator struct {
+	In    *query.Info
+	Stats *Stats
+	// UseHash mirrors the plan option: hash-evaluated equality predicates
+	// reduce the probed input to the matching partition (§5.2.2 models
+	// partitions as event classes).
+	UseHash bool
+}
+
+// NewEstimator builds an estimator.
+func NewEstimator(in *query.Info, st *Stats, useHash bool) *Estimator {
+	return &Estimator{In: in, Stats: st, UseHash: useHash}
+}
+
+// UnitEstimate returns the cardinality and internal operator cost of one
+// planning unit (Table 2 rows for the unit's operator).
+func (e *Estimator) UnitEstimate(u *plan.Unit) Estimate {
+	st := e.Stats
+	pt := st.pt()
+	switch u.Kind {
+	case plan.UnitSimple:
+		return Estimate{Card: st.ClassCard(u.Classes[0])}
+
+	case plan.UnitConj:
+		// left-deep chain of CONJ operators: Ci = CARD_A * CARD_B,
+		// Co = Ci * P_{A,B}.
+		est := Estimate{Card: st.ClassCard(u.Classes[0])}
+		built := []int{u.Classes[0]}
+		for _, c := range u.Classes[1:] {
+			ci := est.Card * st.ClassCard(c)
+			sel, n := e.predSelBetween(built, []int{c})
+			co := ci * sel
+			est.Cost += ci + float64(n)*K*ci + P*co
+			est.Card = co
+			built = append(built, c)
+		}
+		return est
+
+	case plan.UnitDisj:
+		// Ci = Co = sum of input cardinalities.
+		var sum float64
+		for _, c := range u.Classes {
+			sum += st.ClassCard(c)
+		}
+		return Estimate{Card: sum, Cost: sum + P*sum}
+
+	case plan.UnitKSeq:
+		// Table 2 Kleene-closure row. Missing anchors contribute 1.
+		cardA, cardC := 1.0, 1.0
+		ptAB, ptBC, ptAC := 1.0, 1.0, 1.0
+		if u.StartClass >= 0 {
+			cardA = st.ClassCard(u.StartClass)
+			ptAB, ptAC = pt, pt
+		}
+		if u.EndClass >= 0 {
+			cardC = st.ClassCard(u.EndClass)
+			ptBC = pt
+			if u.StartClass < 0 {
+				ptAC = 1
+			}
+		}
+		n := st.ClassCard(u.MidClass) * ptAB * ptBC
+		if u.Closure == query.ClosureCount {
+			n *= float64(u.Count)
+		}
+		ci := cardA * cardC * ptAC * n
+		sel, npred := e.predSelWithin(u.Classes)
+		co := ci * sel
+		return Estimate{Card: co, Cost: ci + float64(npred)*K*ci + P*co}
+
+	case plan.UnitNSeqLeft, plan.UnitNSeqRight:
+		// Table 2 pushed-down negation: the NSEQ input cost is the
+		// anchor's cardinality (each anchor event directly locates its
+		// negating event); output cardinality equals the anchor's.
+		card := st.ClassCard(u.Anchor)
+		_, npred := e.predSelBetween(u.NegClasses, []int{u.Anchor})
+		return Estimate{Card: card, Cost: card + float64(npred)*K*card + P*card}
+	}
+	return Estimate{}
+}
+
+// SeqJoin estimates a sequence operator combining two costed sub-plans
+// covering the given class sets (Table 2 sequence row):
+//
+//	Ci = CARD_A * CARD_B * Pt    Co = Ci * P_{A,B}
+//
+// Negation survival: when the right side's leftmost unit is an NSEQ block,
+// the Figure 4 time guards discard the share of combinations whose left
+// part precedes the negating event; Table 2 models this as the
+// (1 - Pt_{A,B}·Pt_{B,C}) factor on the output.
+func (e *Estimator) SeqJoin(l, r Estimate, leftCls, rightCls []int, negSurvival float64) Estimate {
+	st := e.Stats
+	ci := l.Card * r.Card * st.pt()
+	sel, n := e.predSelBetween(leftCls, rightCls)
+	if negSurvival > 0 && negSurvival < 1 {
+		sel *= negSurvival
+	}
+	co := ci * sel // output cardinality is hash-independent
+	ciProbed := ci
+	if e.UseHash {
+		// hash-evaluated equality predicates restrict probing to the
+		// matching partition: the equality selectivity applies to the
+		// input-access cost, and the predicate costs nothing to check.
+		eqSel := 1.0
+		for i, pi := range e.In.Preds {
+			if pi.EqJoin != nil && predBetween(pi, leftCls, rightCls) {
+				eqSel *= st.predSel(i)
+				n--
+			}
+		}
+		ciProbed *= eqSel
+	}
+	return Estimate{
+		Card: co,
+		Cost: l.Cost + r.Cost + ciProbed + float64(n)*K*ciProbed + P*co,
+	}
+}
+
+// NegTopEstimate adds the negation-on-top filter cost (Table 2 negation
+// row): Ci = CARD of the child plan; the output keeps the share of
+// composites with no interleaving negation event.
+func (e *Estimator) NegTopEstimate(child Estimate, survival float64) Estimate {
+	ci := child.Card
+	co := child.Card * survival
+	return Estimate{Card: co, Cost: child.Cost + ci + P*co}
+}
+
+// DefaultNegSurvival is the share of composites not invalidated by a
+// negation term, 1 - Pt_{A,B}·Pt_{B,C} with default time selectivities.
+func (e *Estimator) DefaultNegSurvival() float64 {
+	pt := e.Stats.pt()
+	return 1 - pt*pt
+}
+
+// ShapeEstimate estimates a full shape over units (sum of all operator
+// costs, §5.1: "the cost of an entire tree plan can simply be estimated by
+// adding up the costs of all the operators in the tree").
+func (e *Estimator) ShapeEstimate(units []*plan.Unit, s *plan.Shape) Estimate {
+	if s.Unit >= 0 {
+		return e.UnitEstimate(units[s.Unit])
+	}
+	l := e.ShapeEstimate(units, s.L)
+	r := e.ShapeEstimate(units, s.R)
+	surv := 1.0
+	if u := units[s.R.Leaves()[0]]; u.Kind == plan.UnitNSeqLeft {
+		surv = e.DefaultNegSurvival()
+	}
+	return e.SeqJoin(l, r, e.classesOf(units, s.L), e.classesOf(units, s.R), surv)
+}
+
+func (e *Estimator) classesOf(units []*plan.Unit, s *plan.Shape) []int {
+	var out []int
+	for _, ui := range s.Leaves() {
+		out = append(out, units[ui].Classes...)
+	}
+	return out
+}
+
+// predSelBetween returns the product of selectivities and the count of
+// multi-class predicates spanning the two class sets (contained in their
+// union, non-aggregate).
+func (e *Estimator) predSelBetween(a, b []int) (sel float64, n int) {
+	sel = 1.0
+	for i, pi := range e.In.Preds {
+		if predBetween(pi, a, b) {
+			sel *= e.Stats.predSel(i)
+			n++
+		}
+	}
+	return sel, n
+}
+
+// predSelWithin returns the product of selectivities of non-single
+// predicates fully contained in the class set (KSEQ blocks).
+func (e *Estimator) predSelWithin(cls []int) (sel float64, n int) {
+	set := toSet(cls)
+	sel = 1.0
+	for i, pi := range e.In.Preds {
+		if pi.Single() && !pi.HasAgg {
+			continue
+		}
+		all := true
+		for _, c := range pi.Classes {
+			if !set[c] {
+				all = false
+			}
+		}
+		if all {
+			sel *= e.Stats.predSel(i)
+			n++
+		}
+	}
+	return sel, n
+}
+
+func predBetween(pi *query.PredInfo, a, b []int) bool {
+	if pi.Single() || pi.HasAgg {
+		return false
+	}
+	sa, sb := toSet(a), toSet(b)
+	spansA, spansB := false, false
+	for _, c := range pi.Classes {
+		switch {
+		case sa[c]:
+			spansA = true
+		case sb[c]:
+			spansB = true
+		default:
+			return false // references a class outside the union
+		}
+	}
+	return spansA && spansB
+}
+
+func toSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// String renders the estimate.
+func (est Estimate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "card=%.3g cost=%.3g", est.Card, est.Cost)
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func estimator(t *testing.T, src string, rates []float64, predSel float64) (*Estimator, []*plan.Unit) {
+	t.Helper()
+	q := query.MustParse(src)
+	st := UniformStats(q.Info, q.Within, 1)
+	copy(st.Rate, rates)
+	for i := range st.PredSel {
+		st.PredSel[i] = predSel
+	}
+	units, _, err := plan.Units(q.Info, plan.NegAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEstimator(q.Info, st, false), units
+}
+
+func TestClassCard(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WITHIN 100")
+	st := UniformStats(q.Info, q.Within, 0.5)
+	st.SingleSel[0] = 0.1
+	// CARD = R * TW * P = 0.5 * 100 * 0.1
+	if got := st.ClassCard(0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("ClassCard = %v", got)
+	}
+}
+
+func TestSeqJoinFormula(t *testing.T) {
+	// Table 2 sequence row: Ci = CARD_A*CARD_B*Pt, Co = Ci * P_{A,B};
+	// C = Ci + n*k*Ci + p*Co
+	est, units := estimator(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100", []float64{1, 1}, 0.5)
+	l := est.UnitEstimate(units[0])
+	r := est.UnitEstimate(units[1])
+	if l.Card != 100 || r.Card != 100 {
+		t.Fatalf("unit cards: %v %v", l.Card, r.Card)
+	}
+	e := est.SeqJoin(l, r, []int{0}, []int{1}, 1)
+	ci := 100.0 * 100 * 0.5
+	co := ci * 0.5
+	want := ci + 1*K*ci + P*co
+	if math.Abs(e.Cost-want) > 1e-6 {
+		t.Errorf("seq cost = %v, want %v", e.Cost, want)
+	}
+	if math.Abs(e.Card-co) > 1e-6 {
+		t.Errorf("seq card = %v, want %v", e.Card, co)
+	}
+}
+
+func TestSeqJoinNoPred(t *testing.T) {
+	est, units := estimator(t, "PATTERN A;B WITHIN 10", []float64{2, 3}, -1)
+	l, r := est.UnitEstimate(units[0]), est.UnitEstimate(units[1])
+	e := est.SeqJoin(l, r, []int{0}, []int{1}, 1)
+	ci := 20.0 * 30 * 0.5
+	want := ci + ci // no preds: Ci + Co with sel 1
+	if math.Abs(e.Cost-want) > 1e-6 {
+		t.Errorf("cost = %v, want %v", e.Cost, want)
+	}
+}
+
+func TestConjCostHigherThanSeq(t *testing.T) {
+	// §5.2.1: C_DIS < C_SEQ < C_CON for identical operands
+	qSeq := query.MustParse("PATTERN A;B WITHIN 100")
+	qConj := query.MustParse("PATTERN A&B WITHIN 100")
+	qDisj := query.MustParse("PATTERN A|B WITHIN 100")
+
+	costOf := func(q *query.Query) float64 {
+		st := UniformStats(q.Info, q.Within, 1)
+		units, _, err := plan.Units(q.Info, plan.NegAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := NewEstimator(q.Info, st, false)
+		if len(units) == 1 {
+			return est.UnitEstimate(units[0]).Cost
+		}
+		l, r := est.UnitEstimate(units[0]), est.UnitEstimate(units[1])
+		return est.SeqJoin(l, r, []int{0}, []int{1}, 1).Cost
+	}
+	seq, conj, disj := costOf(qSeq), costOf(qConj), costOf(qDisj)
+	if !(disj < seq && seq < conj) {
+		t.Errorf("cost order violated: disj=%v seq=%v conj=%v", disj, seq, conj)
+	}
+}
+
+func TestKleeneCostCountVsStar(t *testing.T) {
+	// with a closure count, each eligible middle event is emitted cnt
+	// times on average: N (and hence cost) scales with cnt
+	estC, unitsC := estimator(t, "PATTERN A;B^5;C WITHIN 100", []float64{1, 1, 1}, -1)
+	estS, unitsS := estimator(t, "PATTERN A;B*;C WITHIN 100", []float64{1, 1, 1}, -1)
+	cCount := estC.UnitEstimate(unitsC[0]).Cost
+	cStar := estS.UnitEstimate(unitsS[0]).Cost
+	if cCount <= cStar {
+		t.Errorf("count-closure cost (%v) should exceed star (%v)", cCount, cStar)
+	}
+}
+
+func TestNegationUnitCost(t *testing.T) {
+	// NSEQ input cost is CARD of the anchor class, not of the negation
+	// class (§5.1): growing the negation class rate must not change it
+	for _, negRate := range []float64{1, 100} {
+		est, units := estimator(t, "PATTERN A;!B;C WITHIN 100", []float64{1, negRate, 1}, -1)
+		e := est.UnitEstimate(units[1])
+		if e.Card != 100 {
+			t.Errorf("negRate %v: NSEQ card = %v, want 100", negRate, e.Card)
+		}
+	}
+}
+
+func TestHashReducesInputCost(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WHERE A.name = B.name WITHIN 100")
+	st := UniformStats(q.Info, q.Within, 1)
+	for i := range st.PredSel {
+		st.PredSel[i] = 0.1
+	}
+	units, _, err := plan.Units(q.Info, plan.NegAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewEstimator(q.Info, st, false)
+	hashed := NewEstimator(q.Info, st, true)
+	l, r := plain.UnitEstimate(units[0]), plain.UnitEstimate(units[1])
+	cPlain := plain.SeqJoin(l, r, []int{0}, []int{1}, 1)
+	cHash := hashed.SeqJoin(l, r, []int{0}, []int{1}, 1)
+	if cHash.Cost >= cPlain.Cost {
+		t.Errorf("hash cost %v >= scan cost %v", cHash.Cost, cPlain.Cost)
+	}
+	if math.Abs(cHash.Card-cPlain.Card) > 1e-9 {
+		t.Errorf("hash changed output card: %v vs %v", cHash.Card, cPlain.Card)
+	}
+}
+
+func TestShapeEstimateMatchesManualComposition(t *testing.T) {
+	est, units := estimator(t, "PATTERN A;B;C WITHIN 100", []float64{1, 2, 3}, -1)
+	ld := plan.LeftDeep(3)
+	auto := est.ShapeEstimate(units, ld)
+	ab := est.SeqJoin(est.UnitEstimate(units[0]), est.UnitEstimate(units[1]), []int{0}, []int{1}, 1)
+	manual := est.SeqJoin(ab, est.UnitEstimate(units[2]), []int{0, 1}, []int{2}, 1)
+	if math.Abs(auto.Cost-manual.Cost) > 1e-6 || math.Abs(auto.Card-manual.Card) > 1e-6 {
+		t.Errorf("auto %+v != manual %+v", auto, manual)
+	}
+}
+
+func TestRateAsymmetryFavorsRareFirst(t *testing.T) {
+	// rare first class: left-deep cheaper; rare last class: right-deep
+	// cheaper (the Figure 10/11 crossover)
+	mk := func(rates []float64) (ldc, rdc float64) {
+		est, units := estimator(t, "PATTERN A;B;C WITHIN 200", rates, -1)
+		return est.ShapeEstimate(units, plan.LeftDeep(3)).Cost,
+			est.ShapeEstimate(units, plan.RightDeep(3)).Cost
+	}
+	ld, rd := mk([]float64{0.01, 1, 1})
+	if ld >= rd {
+		t.Errorf("rare-A: left-deep %v should beat right-deep %v", ld, rd)
+	}
+	ld, rd = mk([]float64{1, 1, 0.01})
+	if rd >= ld {
+		t.Errorf("rare-C: right-deep %v should beat left-deep %v", rd, ld)
+	}
+}
+
+func TestPredSelDefaults(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WHERE A.price > B.price WITHIN 10")
+	st := UniformStats(q.Info, q.Within, 1)
+	if st.predSel(0) != DefaultPredSel {
+		t.Errorf("default pred sel = %v", st.predSel(0))
+	}
+	st.PredSel[0] = 0.25
+	if st.predSel(0) != 0.25 {
+		t.Errorf("explicit pred sel = %v", st.predSel(0))
+	}
+	if st.pt() != DefaultTimeSel {
+		t.Errorf("default Pt = %v", st.pt())
+	}
+	st.TimeSel = 0.7
+	if st.pt() != 0.7 {
+		t.Errorf("explicit Pt = %v", st.pt())
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{Card: 10, Cost: 100}
+	if e.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestDisjUnitCost(t *testing.T) {
+	est, units := estimator(t, "PATTERN (A|B);C WITHIN 100", []float64{1, 2, 1}, -1)
+	e := est.UnitEstimate(units[0])
+	if e.Card != 300 { // 100 + 200
+		t.Errorf("disj card = %v", e.Card)
+	}
+}
+
+func TestConjUnitCost(t *testing.T) {
+	est, units := estimator(t, "PATTERN (A&B);C WITHIN 100", []float64{1, 1, 1}, -1)
+	e := est.UnitEstimate(units[0])
+	// Ci = 100*100, no preds, Co = Ci
+	if e.Card != 10000 || e.Cost != 20000 {
+		t.Errorf("conj estimate = %+v", e)
+	}
+}

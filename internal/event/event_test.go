@@ -1,0 +1,198 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	if v := Float(3.5); v.Kind != KindFloat || v.F != 3.5 {
+		t.Errorf("Float(3.5) = %+v", v)
+	}
+	if v := Int(7); v.Kind != KindFloat || v.F != 7 {
+		t.Errorf("Int(7) = %+v", v)
+	}
+	if v := Str("x"); v.Kind != KindString || v.S != "x" {
+		t.Errorf("Str(x) = %+v", v)
+	}
+	if !Null().IsNull() {
+		t.Error("Null() is not null")
+	}
+	if (Value{}).Kind != KindNull {
+		t.Error("zero Value is not null")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Float(1), Float(1), true},
+		{Float(1), Float(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Float(1), Str("1"), false},
+		{Null(), Null(), false}, // null never equals null
+		{Null(), Float(0), false},
+		{Float(0), Null(), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Float(1), Float(2), -1, true},
+		{Float(2), Float(1), 1, true},
+		{Float(2), Float(2), 0, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("a"), 1, true},
+		{Str("a"), Str("a"), 0, true},
+		{Float(1), Str("a"), 0, false},
+		{Null(), Float(1), 0, false},
+		{Null(), Null(), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := c.a.Compare(c.b)
+		if cmp != c.cmp || ok != c.ok {
+			t.Errorf("%v.Compare(%v) = (%d,%v), want (%d,%v)", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, okx := Float(a).Compare(Float(b))
+		y, oky := Float(b).Compare(Float(a))
+		return okx && oky && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if s := Float(2.5).String(); s != "2.5" {
+		t.Errorf("Float string = %q", s)
+	}
+	if s := Str("hi").String(); s != `"hi"` {
+		t.Errorf("Str string = %q", s)
+	}
+	if s := Null().String(); s != "NULL" {
+		t.Errorf("Null string = %q", s)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s, err := NewSchema("S", "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "S" || s.NumAttrs() != 3 {
+		t.Fatalf("schema basics wrong: %v %v", s.Name(), s.NumAttrs())
+	}
+	if s.Index("b") != 1 {
+		t.Errorf("Index(b) = %d", s.Index("b"))
+	}
+	if s.Index("zz") != -1 {
+		t.Errorf("Index(zz) = %d", s.Index("zz"))
+	}
+	if got := s.Attrs(); len(got) != 3 || got[0] != "a" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	if _, err := NewSchema("S", "a", "a"); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on duplicate")
+		}
+	}()
+	MustSchema("S", "x", "x")
+}
+
+func TestEventNewArity(t *testing.T) {
+	s := MustSchema("S", "a", "b")
+	if _, err := New(s, 1, Float(1)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	e, err := New(s, 5, Float(1), Str("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Ts != 5 {
+		t.Errorf("Ts = %d", e.Ts)
+	}
+	if !e.Get("a").Equal(Float(1)) || !e.Get("b").Equal(Str("z")) {
+		t.Errorf("Get values wrong: %v %v", e.Get("a"), e.Get("b"))
+	}
+	if !e.Get("missing").IsNull() {
+		t.Error("missing attribute not null")
+	}
+	if !e.At(1).Equal(Str("z")) {
+		t.Errorf("At(1) = %v", e.At(1))
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(MustSchema("S", "a"), 0)
+}
+
+func TestStockHelpers(t *testing.T) {
+	e := NewStock(42, 100, 7, "IBM", 12.5, 300)
+	if e.Seq != 42 || e.Ts != 100 {
+		t.Errorf("seq/ts wrong: %d %d", e.Seq, e.Ts)
+	}
+	if !e.Get("name").Equal(Str("IBM")) {
+		t.Errorf("name = %v", e.Get("name"))
+	}
+	if !e.Get("price").Equal(Float(12.5)) {
+		t.Errorf("price = %v", e.Get("price"))
+	}
+	if !e.Get("id").Equal(Int(7)) || !e.Get("volume").Equal(Float(300)) {
+		t.Error("id/volume wrong")
+	}
+}
+
+func TestWeblogHelpers(t *testing.T) {
+	e := NewWeblog(1, 9, "1.2.3.4", "/pub/x.pdf", "publication")
+	if !e.Get("ip").Equal(Str("1.2.3.4")) || !e.Get("url").Equal(Str("/pub/x.pdf")) || !e.Get("desc").Equal(Str("publication")) {
+		t.Errorf("weblog fields wrong: %v", e)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := NewStock(1, 3, 1, "IBM", 10, 5)
+	got := e.String()
+	want := `Stocks@3{id=1, name="IBM", price=10, volume=5}`
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindNull: "null", KindFloat: "float", KindString: "string", Kind(9): "kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// AblationHash isolates §5.2.2 hash-based equality evaluation on a Query 1
+// style equality join (T1.name = T3.name over many symbols).
+func AblationHash(scale Scale) (*Result, error) {
+	q := eqJoinQuery()
+	res := &Result{ID: "abl-hash", Title: "Ablation: hash equality lookups on vs off", ShowThroughput: true}
+	n := scale.n(40_000)
+	// many symbols so the equality is selective and hashing pays off
+	names := make([]string, 64)
+	weights := make([]float64, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	events := workload.GenStocks(workload.StockSpec{N: n, Seed: 21, Names: names, Weights: weights})
+	s := Series{Label: "64 symbols"}
+	for _, def := range []struct {
+		name string
+		hash bool
+	}{{"scan", false}, {"hash", true}} {
+		run, err := runEngine(q, core.Config{Strategy: core.StrategyLeftDeep, UseHash: def.hash, BatchSize: 256}, events)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = def.name
+		s.Runs = append(s.Runs, run)
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes, "expect: hash clearly faster; match counts identical")
+	return res, nil
+}
+
+func eqJoinQuery() *query.Query {
+	return query.MustParse(`
+		PATTERN T1; T2; T3
+		WHERE T1.name = T3.name
+		AND T1.price > T2.price
+		WITHIN 200 units`)
+}
+
+// AblationEAT isolates the §4.3 earliest-allowed-timestamp push-down.
+func AblationEAT(scale Scale) (*Result, error) {
+	q := query4()
+	res := &Result{ID: "abl-eat", Title: "Ablation: EAT push-down on vs off", ShowThroughput: true}
+	n := scale.n(30_000)
+	events := workload.GenStocks(workload.StockSpec{
+		N: n, Seed: 22, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights:    []float64{1, 1, 1},
+		FixedPrice: map[string]float64{"Sun": workload.SelectivityPrice(0.25)},
+	})
+	s := Series{Label: "sel 1/4"}
+	for _, def := range []struct {
+		name    string
+		disable bool
+	}{{"EAT on", false}, {"EAT off", true}} {
+		run, err := runEngine(q, core.Config{Strategy: core.StrategyLeftDeep, DisableEAT: def.disable, BatchSize: 256}, events)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = def.name
+		s.Runs = append(s.Runs, run)
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes, "expect: EAT on faster and lower peak memory; match counts identical")
+	return res, nil
+}
+
+// AblationBatchSize sweeps the batch-iterator batch size (§4.3).
+func AblationBatchSize(scale Scale) (*Result, error) {
+	q := query4()
+	res := &Result{ID: "abl-batch", Title: "Ablation: batch size sweep", ShowThroughput: true}
+	n := scale.n(30_000)
+	events := workload.GenStocks(workload.StockSpec{
+		N: n, Seed: 23, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights:    []float64{1, 1, 1},
+		FixedPrice: map[string]float64{"Sun": workload.SelectivityPrice(0.25)},
+	})
+	for _, bs := range []int{1, 8, 64, 512} {
+		s := Series{Label: fmt.Sprintf("batch %d", bs)}
+		run, err := runEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: bs},
+			events)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = "left-deep"
+		s.Runs = append(s.Runs, run)
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: throughput improves then flattens as batching amortizes assembly rounds")
+	return res, nil
+}

@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment returns a Result whose text rendering
+// mirrors the corresponding figure's series; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Absolute numbers differ from the paper (different decade, language and
+// machine); what the experiments reproduce is the *shape*: which plan wins,
+// by roughly what factor, and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/nfa"
+	"repro/internal/query"
+)
+
+// Run is one measured execution of a plan over a workload.
+type Run struct {
+	Plan       string
+	Throughput float64 // input events per second
+	Matches    uint64
+	PeakMemMB  float64
+	InvCost    float64 // 1 / estimated cost (cost-model figures)
+}
+
+// Series is one sweep point (one x-axis value) with its per-plan runs.
+type Series struct {
+	Label string
+	Runs  []Run
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	// Columns selects which Run fields the table shows.
+	ShowThroughput, ShowMemory, ShowInvCost, ShowMatches bool
+	Series                                               []Series
+	Notes                                                []string
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	// header
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, run := range r.Series[0].Runs {
+		fmt.Fprintf(&b, "%16s", run.Plan)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-24s", s.Label)
+		for _, run := range s.Runs {
+			switch {
+			case r.ShowThroughput:
+				fmt.Fprintf(&b, "%14.0f/s", run.Throughput)
+			case r.ShowMemory:
+				fmt.Fprintf(&b, "%14.2fMB", run.PeakMemMB)
+			case r.ShowInvCost:
+				fmt.Fprintf(&b, "%16.3g", run.InvCost)
+			default:
+				fmt.Fprintf(&b, "%16d", run.Matches)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// runEngine measures one tree-plan execution.
+func runEngine(q *query.Query, cfg core.Config, events []*event.Event) (Run, error) {
+	eng, err := core.NewEngine(q, cfg, nil)
+	if err != nil {
+		return Run{}, err
+	}
+	start := time.Now()
+	for _, ev := range events {
+		cp := *ev // engines own Seq assignment
+		eng.Process(&cp)
+	}
+	eng.Flush()
+	elapsed := time.Since(start).Seconds()
+	st := eng.Snapshot()
+	return Run{
+		Throughput: float64(len(events)) / elapsed,
+		Matches:    st.Matches,
+		PeakMemMB:  float64(st.PeakMemBytes) / (1 << 20),
+	}, nil
+}
+
+// runNFA measures the NFA baseline. Matches are materialized through the
+// emit callback so output-assembly costs are comparable with the tree
+// engine, which always builds composite records.
+func runNFA(q *query.Query, events []*event.Event) (Run, error) {
+	m, err := nfa.New(q)
+	if err != nil {
+		return Run{}, err
+	}
+	m.SetEmit(func([]*event.Event) {})
+	start := time.Now()
+	for _, ev := range events {
+		m.Process(ev)
+	}
+	m.Flush()
+	elapsed := time.Since(start).Seconds()
+	return Run{
+		Plan:       "NFA",
+		Throughput: float64(len(events)) / elapsed,
+		Matches:    m.Matches(),
+		PeakMemMB:  float64(m.PeakMemBytes()) / (1 << 20),
+	}, nil
+}
+
+// Scale tunes workload sizes: 1.0 is the default zbench size; benchmarks
+// use smaller factors to keep go test fast.
+type Scale float64
+
+func (s Scale) n(base int) int {
+	n := int(float64(base) * float64(s))
+	if n < 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// All runs every experiment at the given scale, in paper order.
+func All(scale Scale) ([]*Result, error) {
+	type fn func(Scale) (*Result, error)
+	fns := []fn{Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Table3, Fig14,
+		Fig15, Fig16, Table4Exp, Fig17, Table5, OptimizerTiming,
+		AblationHash, AblationEAT, AblationBatchSize}
+	var out []*Result
+	for _, f := range fns {
+		r, err := f(scale)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

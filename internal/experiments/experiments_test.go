@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is small enough for unit tests; shape assertions stay loose at this
+// scale (the zbench binary runs the full-size sweeps).
+const tiny = Scale(0.1)
+
+func TestFig8ShapeAndAgreement(t *testing.T) {
+	r, err := Fig8(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Runs) != 3 {
+			t.Fatalf("%s: runs = %d", s.Label, len(s.Runs))
+		}
+		// all three systems must agree on the number of matches
+		for _, run := range s.Runs[1:] {
+			if run.Matches != s.Runs[0].Matches {
+				t.Errorf("%s: %s found %d matches, %s found %d",
+					s.Label, run.Plan, run.Matches, s.Runs[0].Plan, s.Runs[0].Matches)
+			}
+		}
+		for _, run := range s.Runs {
+			if run.Throughput <= 0 {
+				t.Errorf("%s/%s: throughput %v", s.Label, run.Plan, run.Throughput)
+			}
+		}
+	}
+	// at the most selective point the left-deep plan should win clearly
+	last := r.Series[len(r.Series)-1]
+	if last.Runs[0].Throughput < last.Runs[1].Throughput {
+		t.Errorf("sel 1/32: left-deep (%v) slower than right-deep (%v)",
+			last.Runs[0].Throughput, last.Runs[1].Throughput)
+	}
+}
+
+func TestFig9CostOrdering(t *testing.T) {
+	r, err := Fig9(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// left-deep estimated cheaper at every selective point; gap widens
+	prevRatio := 0.0
+	for i, s := range r.Series {
+		ld, rd := s.Runs[0].InvCost, s.Runs[1].InvCost
+		if i > 0 && ld < rd {
+			t.Errorf("%s: cost model prefers right-deep", s.Label)
+		}
+		ratio := ld / rd
+		if i > 0 && ratio < prevRatio-1e-9 {
+			t.Errorf("%s: 1/cost ratio shrank: %v -> %v", s.Label, prevRatio, ratio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestFig10Crossover(t *testing.T) {
+	r, err := Fig10(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		for _, run := range s.Runs[1:] {
+			if run.Matches != s.Runs[0].Matches {
+				t.Errorf("%s: match disagreement (%s=%d, %s=%d)",
+					s.Label, s.Runs[0].Plan, s.Runs[0].Matches, run.Plan, run.Matches)
+			}
+		}
+	}
+	// The dominant effect is on the rare-IBM side (k^(N-1) skew): the
+	// left-deep plan must win clearly at 1:16:16. On the high-IBM side the
+	// paper's gap is modest; require right-deep not to collapse, and the
+	// left-deep/right-deep ratio to grow across the sweep.
+	first, last := r.Series[0], r.Series[len(r.Series)-1]
+	if last.Runs[0].Throughput < last.Runs[1].Throughput {
+		t.Errorf("1:16:16: left-deep (%v) slower than right-deep (%v)",
+			last.Runs[0].Throughput, last.Runs[1].Throughput)
+	}
+	if first.Runs[1].Throughput < 0.5*first.Runs[0].Throughput {
+		t.Errorf("16:1:1: right-deep collapsed: %v vs left-deep %v",
+			first.Runs[1].Throughput, first.Runs[0].Throughput)
+	}
+	ratioFirst := first.Runs[0].Throughput / first.Runs[1].Throughput
+	ratioLast := last.Runs[0].Throughput / last.Runs[1].Throughput
+	if ratioLast <= ratioFirst {
+		t.Errorf("left-deep advantage did not grow: %v -> %v", ratioFirst, ratioLast)
+	}
+}
+
+func TestFig11Crossover(t *testing.T) {
+	r, err := Fig11(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := r.Series[0], r.Series[len(r.Series)-1]
+	if first.Runs[1].InvCost < first.Runs[0].InvCost {
+		t.Error("cost model: right-deep should win at 16:1:1")
+	}
+	if last.Runs[0].InvCost < last.Runs[1].InvCost {
+		t.Error("cost model: left-deep should win at 1:16:16")
+	}
+}
+
+func TestFig12Agreement(t *testing.T) {
+	r, err := Fig12(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Runs) != 5 {
+			t.Fatalf("%s: runs = %d", s.Label, len(s.Runs))
+		}
+		for _, run := range s.Runs[1:] {
+			if run.Matches != s.Runs[0].Matches {
+				t.Errorf("%s: %s matches %d != %d", s.Label, run.Plan, run.Matches, s.Runs[0].Matches)
+			}
+		}
+	}
+}
+
+func TestFig13RegimeWinners(t *testing.T) {
+	r, err := Fig13(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(s Series) string {
+		bi := 0
+		for i, run := range s.Runs {
+			if run.InvCost > s.Runs[bi].InvCost {
+				bi = i
+			}
+		}
+		return s.Runs[bi].Plan
+	}
+	// regime 1: left-deep or bushy; regime 2: inner; regime 3: right-deep
+	if w := best(r.Series[0]); w != "left-deep" && w != "bushy" {
+		t.Errorf("regime 1 winner = %s", w)
+	}
+	if w := best(r.Series[1]); w != "inner" {
+		t.Errorf("regime 2 winner = %s", w)
+	}
+	if w := best(r.Series[2]); w != "right-deep" {
+		t.Errorf("regime 3 winner = %s", w)
+	}
+}
+
+func TestTable3MemoryFlat(t *testing.T) {
+	r, err := Table3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		lo, hi := s.Runs[0].PeakMemMB, s.Runs[0].PeakMemMB
+		// compare only the tree plans; the NFA accounts instances, not
+		// records, so its absolute scale differs
+		for _, run := range s.Runs[:4] {
+			if run.PeakMemMB < lo {
+				lo = run.PeakMemMB
+			}
+			if run.PeakMemMB > hi {
+				hi = run.PeakMemMB
+			}
+		}
+		if lo <= 0 {
+			t.Errorf("%s: zero peak memory", s.Label)
+		}
+	}
+}
+
+func TestFig14AdaptiveTracksBest(t *testing.T) {
+	r, err := Fig14(Scale(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		var adaptive, best float64
+		for _, run := range s.Runs {
+			if run.Plan == "adaptive" {
+				adaptive = run.Throughput
+			} else if run.Throughput > best {
+				best = run.Throughput
+			}
+		}
+		if adaptive <= 0 {
+			t.Fatalf("%s: no adaptive run", s.Label)
+		}
+		// adaptive should be within a generous factor of the best fixed
+		// plan in every segment (timing noise at tiny scale)
+		if adaptive < best/8 {
+			t.Errorf("%s: adaptive %v far below best fixed %v", s.Label, adaptive, best)
+		}
+	}
+}
+
+func TestFig15Fig16NSEQWins(t *testing.T) {
+	for _, f := range []func(Scale) (*Result, error){Fig15, Fig16} {
+		r, err := f(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins := 0
+		for _, s := range r.Series {
+			if s.Runs[0].Matches != s.Runs[1].Matches {
+				t.Errorf("%s %s: NSEQ %d matches vs NEG-top %d",
+					r.ID, s.Label, s.Runs[0].Matches, s.Runs[1].Matches)
+			}
+			if s.Runs[0].Throughput >= s.Runs[1].Throughput {
+				wins++
+			}
+		}
+		// at this tiny scale timing noise can flip individual points; the
+		// full-scale zbench run shows NSEQ ahead everywhere
+		if wins < len(r.Series)/2 {
+			t.Errorf("%s: NSEQ won only %d/%d points", r.ID, wins, len(r.Series))
+		}
+	}
+}
+
+func TestTable4Proportions(t *testing.T) {
+	r, err := Table4Exp(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, paper := r.Series[0], r.Series[1]
+	for i := range gen.Runs {
+		g, p := gen.Runs[i].Matches, paper.Runs[i].Matches
+		if g != p {
+			t.Errorf("%s: generated %d, scaled paper %d", gen.Runs[i].Plan, g, p)
+		}
+	}
+}
+
+func TestFig17LeftDeepWins(t *testing.T) {
+	r, err := Fig17(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series[0]
+	if s.Runs[0].Matches != s.Runs[1].Matches || s.Runs[0].Matches != s.Runs[2].Matches {
+		t.Errorf("match disagreement: %d/%d/%d", s.Runs[0].Matches, s.Runs[1].Matches, s.Runs[2].Matches)
+	}
+	// At Table-4 class densities the join work is a small fraction of the
+	// per-event scan cost in this implementation (window-tight scans),
+	// so the plans sit close together; require left-deep not to lose by
+	// more than the noise band (see EXPERIMENTS.md).
+	if s.Runs[0].Throughput < 0.7*s.Runs[1].Throughput {
+		t.Errorf("left-deep (%v) far below right-deep (%v)", s.Runs[0].Throughput, s.Runs[1].Throughput)
+	}
+}
+
+func TestTable5Runs(t *testing.T) {
+	r, err := Table5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range r.Series[0].Runs {
+		if run.PeakMemMB <= 0 {
+			t.Errorf("%s: peak mem %v", run.Plan, run.PeakMemMB)
+		}
+	}
+}
+
+func TestOptimizerTimingUnder10ms(t *testing.T) {
+	r, err := OptimizerTiming(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Series[len(r.Series)-1]
+	if us := last.Runs[0].Throughput; us > 10_000 {
+		t.Errorf("pattern length 20 planned in %vus, paper promises < 10ms", us)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	hash, err := AblationHash(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := hash.Series[0].Runs
+	if hr[0].Matches != hr[1].Matches {
+		t.Errorf("hash changed results: %d vs %d", hr[0].Matches, hr[1].Matches)
+	}
+	if hr[1].Throughput < hr[0].Throughput {
+		t.Errorf("hash (%v) slower than scan (%v)", hr[1].Throughput, hr[0].Throughput)
+	}
+
+	eat, err := AblationEAT(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := eat.Series[0].Runs
+	if er[0].Matches != er[1].Matches {
+		t.Errorf("EAT changed results: %d vs %d", er[0].Matches, er[1].Matches)
+	}
+
+	batch, err := AblationBatchSize(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := batch.Series[0].Runs[0].Matches
+	for _, s := range batch.Series[1:] {
+		if s.Runs[0].Matches != base {
+			t.Errorf("batch size changed results: %d vs %d", s.Runs[0].Matches, base)
+		}
+	}
+}
+
+func TestResultTable(t *testing.T) {
+	r, err := Fig9(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, "fig9") || !strings.Contains(tbl, "left-deep") {
+		t.Errorf("table rendering:\n%s", tbl)
+	}
+}

@@ -1,0 +1,597 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// --- shared queries -------------------------------------------------------
+
+// query4 is the paper's Query 4: IBM;Sun;Oracle with one predicate between
+// IBM and Sun, WITHIN 200 units.
+func query4() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		AND IBM.price > Sun.price
+		WITHIN 200 units`)
+}
+
+// query5 is Query 5: the same sequence with no multi-class predicate.
+func query5() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		WITHIN 200 units`)
+}
+
+// query6 is Query 6: four classes, two predicates, WITHIN 100 units.
+func query6() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; Sun; Oracle; Google
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun'
+		AND Oracle.name = 'Oracle' AND Google.name = 'Google'
+		AND Oracle.price > Sun.price
+		AND Oracle.price > Google.price
+		WITHIN 100 units`)
+}
+
+// query7 is Query 7: IBM; !Sun; Oracle WITHIN 200 units.
+func query7() *query.Query {
+	return query.MustParse(`
+		PATTERN IBM; !Sun; Oracle
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Oracle.name = 'Oracle'
+		WITHIN 200 units`)
+}
+
+// query8 is Query 8: Publication;Project;Course with the same IP, WITHIN
+// 10 hours.
+func query8() *query.Query {
+	return query.MustParse(`
+		PATTERN P; J; C
+		WHERE P.desc = 'publication' AND J.desc = 'project' AND C.desc = 'courses'
+		AND P.ip = J.ip = C.ip
+		WITHIN 10 hours`)
+}
+
+// namedShape pairs a plan name with its shape.
+type namedShape struct {
+	name  string
+	shape *plan.Shape
+}
+
+// query6Shapes are the four tree plans of §6.2 over Query 6's four units.
+func query6Shapes() []namedShape {
+	return []namedShape{
+		{"left-deep", mustShape("(((0 1) 2) 3)")},
+		{"right-deep", mustShape("(0 (1 (2 3)))")},
+		{"bushy", mustShape("((0 1) (2 3))")},
+		{"inner", mustShape("(0 ((1 2) 3))")},
+	}
+}
+
+func mustShape(s string) *plan.Shape {
+	sh, err := plan.ParseShape(s)
+	if err != nil {
+		panic(err)
+	}
+	return sh
+}
+
+// statsFor builds cost-model statistics for a stock workload: per-class
+// rates are the weight fractions (one event per tick; the class's leaf
+// filter passes exactly its symbol) and the given multi-class predicate
+// selectivities, keyed by predicate text.
+func statsFor(q *query.Query, window int64, names []string, weights []float64, predSels map[string]float64) *cost.Stats {
+	st := cost.UniformStats(q.Info, window, 0)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, ci := range q.Info.Classes {
+		for j, n := range names {
+			if n == ci.Alias {
+				st.Rate[i] = weights[j] / total
+			}
+		}
+		st.SingleSel[i] = 1
+	}
+	for i, pi := range q.Info.Preds {
+		if pi.Single() {
+			continue
+		}
+		if s, ok := predSels[pi.Cmp.String()]; ok {
+			st.PredSel[i] = s
+		}
+	}
+	return st
+}
+
+// --- Figure 8 / 9: predicate selectivity sweep ----------------------------
+
+var fig8Sels = []struct {
+	label string
+	sel   float64
+}{
+	{"1", 1}, {"1/2", 0.5}, {"1/4", 0.25}, {"1/8", 0.125},
+	{"1/16", 1.0 / 16}, {"1/32", 1.0 / 32},
+}
+
+// Fig8 measures Query 4 throughput for the left-deep plan, the right-deep
+// plan and the NFA while the IBM-Sun predicate selectivity drops from 1 to
+// 1/32 (rates 1:1:1).
+func Fig8(scale Scale) (*Result, error) {
+	q := query4()
+	res := &Result{ID: "fig8", Title: "Query 4 throughput vs predicate selectivity (left-deep / right-deep / NFA)", ShowThroughput: true}
+	n := scale.n(30_000)
+	for _, pt := range fig8Sels {
+		events := workload.GenStocks(workload.StockSpec{
+			N: n, Seed: 8, Names: []string{"IBM", "Sun", "Oracle"},
+			Weights:    []float64{1, 1, 1},
+			FixedPrice: map[string]float64{"Sun": workload.SelectivityPrice(pt.sel)},
+		})
+		s, err := treeAndNFASeries(q, "sel "+pt.label, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, *s)
+	}
+	res.Notes = append(res.Notes, "expect: left-deep >= right-deep ~ NFA; gap grows as selectivity drops (paper: ~5x at 1/32)")
+	return res, nil
+}
+
+// treeAndNFASeries runs left-deep, right-deep and NFA over one workload.
+func treeAndNFASeries(q *query.Query, label string, events []*event.Event) (*Series, error) {
+	s := &Series{Label: label}
+	for _, def := range []struct {
+		name string
+		str  core.Strategy
+	}{{"left-deep", core.StrategyLeftDeep}, {"right-deep", core.StrategyRightDeep}} {
+		run, err := runEngine(q, core.Config{Strategy: def.str, BatchSize: 256}, events)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = def.name
+		s.Runs = append(s.Runs, run)
+	}
+	nrun, err := runNFA(q, events)
+	if err != nil {
+		return nil, err
+	}
+	s.Runs = append(s.Runs, nrun)
+	return s, nil
+}
+
+// Fig9 reports 1/estimated-cost of the two tree plans over the Figure 8
+// sweep.
+func Fig9(Scale) (*Result, error) {
+	q := query4()
+	res := &Result{ID: "fig9", Title: "Query 4 1/estimated-cost vs selectivity (cost model)", ShowInvCost: true}
+	names := []string{"IBM", "Sun", "Oracle"}
+	weights := []float64{1, 1, 1}
+	for _, pt := range fig8Sels {
+		st := statsFor(q, q.Within, names, weights,
+			map[string]float64{"IBM.price > Sun.price": pt.sel})
+		s := Series{Label: "sel " + pt.label}
+		for _, sh := range []namedShape{
+			{"left-deep", plan.LeftDeep(3)}, {"right-deep", plan.RightDeep(3)},
+		} {
+			est, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, sh.shape)
+			if err != nil {
+				return nil, err
+			}
+			s.Runs = append(s.Runs, Run{Plan: sh.name, InvCost: 1 / est.Cost})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: same ordering and widening gap as the measured Figure 8")
+	return res, nil
+}
+
+// --- Figure 10 / 11: relative event rate sweep ----------------------------
+
+var fig10Rates = []struct {
+	label   string
+	weights []float64
+}{
+	{"16:1:1", []float64{16, 1, 1}},
+	{"4:1:1", []float64{4, 1, 1}},
+	{"1:1:1", []float64{1, 1, 1}},
+	{"1:4:4", []float64{1, 4, 4}},
+	{"1:16:16", []float64{1, 16, 16}},
+}
+
+// Fig10 measures Query 5 throughput while the relative IBM rate sweeps
+// from high to low.
+func Fig10(scale Scale) (*Result, error) {
+	q := query5()
+	res := &Result{ID: "fig10", Title: "Query 5 throughput vs relative event rate IBM:Sun:Oracle", ShowThroughput: true}
+	n := scale.n(30_000)
+	for _, pt := range fig10Rates {
+		events := workload.GenStocks(workload.StockSpec{
+			N: n, Seed: 10, Names: []string{"IBM", "Sun", "Oracle"}, Weights: pt.weights,
+		})
+		s, err := treeAndNFASeries(q, pt.label, events)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, *s)
+	}
+	res.Notes = append(res.Notes,
+		"expect: right-deep best at high IBM rate, left-deep best at low IBM rate, crossover at 1:1:1",
+		"expect: larger gaps on the low-IBM side (k^(N-1) skew, §6.1.2)")
+	return res, nil
+}
+
+// Fig11 reports 1/estimated-cost over the same rate sweep.
+func Fig11(Scale) (*Result, error) {
+	q := query5()
+	res := &Result{ID: "fig11", Title: "Query 5 1/estimated-cost vs relative event rate (cost model)", ShowInvCost: true}
+	names := []string{"IBM", "Sun", "Oracle"}
+	for _, pt := range fig10Rates {
+		st := statsFor(q, q.Within, names, pt.weights, nil)
+		s := Series{Label: pt.label}
+		for _, sh := range []namedShape{
+			{"left-deep", plan.LeftDeep(3)}, {"right-deep", plan.RightDeep(3)},
+		} {
+			est, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, sh.shape)
+			if err != nil {
+				return nil, err
+			}
+			s.Runs = append(s.Runs, Run{Plan: sh.name, InvCost: 1 / est.Cost})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: same crossover as the measured Figure 10")
+	return res, nil
+}
+
+// --- Figure 12 / 13 / Table 3: Query 6 regimes -----------------------------
+
+// fig12Regimes are the three parameter regimes of §6.2.
+var fig12Regimes = []struct {
+	label   string
+	weights []float64
+	sun     float64 // selectivity of Oracle.price > Sun.price
+	google  float64 // selectivity of Oracle.price > Google.price
+}{
+	{"rate 1:100:100:100", []float64{1, 100, 100, 100}, 1, 1},
+	{"sel1 = 1/50", []float64{1, 1, 1, 1}, 1.0 / 50, 1},
+	{"sel2 = 1/50", []float64{1, 1, 1, 1}, 1, 1.0 / 50},
+}
+
+func query6Events(n int, regime int) []*event.Event {
+	r := fig12Regimes[regime]
+	return workload.GenStocks(workload.StockSpec{
+		N: n, Seed: int64(12 + regime), Names: []string{"IBM", "Sun", "Oracle", "Google"},
+		Weights: r.weights,
+		FixedPrice: map[string]float64{
+			"Sun":    workload.SelectivityPrice(r.sun),
+			"Google": workload.SelectivityPrice(r.google),
+		},
+	})
+}
+
+// Fig12 measures Query 6 throughput for four tree plans and the NFA across
+// the three regimes.
+func Fig12(scale Scale) (*Result, error) {
+	q := query6()
+	res := &Result{ID: "fig12", Title: "Query 6 throughput across regimes (left/right/bushy/inner/NFA)", ShowThroughput: true}
+	n := scale.n(40_000)
+	for ri, regime := range fig12Regimes {
+		events := query6Events(n, ri)
+		s := Series{Label: regime.label}
+		for _, sh := range query6Shapes() {
+			run, err := runEngine(q, core.Config{Strategy: core.StrategyFixed, Shape: sh.shape, BatchSize: 256}, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = sh.name
+			s.Runs = append(s.Runs, run)
+		}
+		nrun, err := runNFA(q, events)
+		if err != nil {
+			return nil, err
+		}
+		s.Runs = append(s.Runs, nrun)
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"expect regime 1: left-deep & bushy best; regime 2: inner best (~2x); regime 3: right-deep & NFA best")
+	return res, nil
+}
+
+// Fig13 reports 1/estimated-cost for the four tree plans across regimes.
+func Fig13(Scale) (*Result, error) {
+	q := query6()
+	res := &Result{ID: "fig13", Title: "Query 6 1/estimated-cost across regimes (cost model)", ShowInvCost: true}
+	names := []string{"IBM", "Sun", "Oracle", "Google"}
+	for _, regime := range fig12Regimes {
+		st := statsFor(q, q.Within, names, regime.weights, map[string]float64{
+			"Oracle.price > Sun.price":    regime.sun,
+			"Oracle.price > Google.price": regime.google,
+		})
+		s := Series{Label: regime.label}
+		for _, sh := range query6Shapes() {
+			est, err := optimizer.EstimateShape(q, st, false, plan.NegAuto, sh.shape)
+			if err != nil {
+				return nil, err
+			}
+			s.Runs = append(s.Runs, Run{Plan: sh.name, InvCost: 1 / est.Cost})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: per-regime ordering matches the measured Figure 12")
+	return res, nil
+}
+
+// Table3 reports peak memory for the same plans in the two regimes the
+// paper tables.
+func Table3(scale Scale) (*Result, error) {
+	q := query6()
+	res := &Result{ID: "tab3", Title: "Query 6 peak memory (MB) across plans", ShowMemory: true}
+	n := scale.n(40_000)
+	for ri, regime := range fig12Regimes[:2] {
+		events := query6Events(n, ri)
+		s := Series{Label: regime.label}
+		for _, sh := range query6Shapes() {
+			run, err := runEngine(q, core.Config{Strategy: core.StrategyFixed, Shape: sh.shape, BatchSize: 256}, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = sh.name
+			s.Runs = append(s.Runs, run)
+		}
+		nrun, err := runNFA(q, events)
+		if err != nil {
+			return nil, err
+		}
+		s.Runs = append(s.Runs, nrun)
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: peak memory roughly flat across plans (paper: 6.5-7.6 MB), unlike throughput")
+	return res, nil
+}
+
+// --- Figure 14: plan adaptation --------------------------------------------
+
+// Fig14 concatenates the three Query 6 regimes and compares fixed plans
+// against the adaptive planner, reporting per-segment throughput.
+func Fig14(scale Scale) (*Result, error) {
+	q := query6()
+	res := &Result{ID: "fig14", Title: "Query 6 per-segment throughput on a drifting stream (adaptive vs fixed)", ShowThroughput: true}
+	n := scale.n(40_000)
+
+	segList := make([][]*event.Event, 3)
+	for ri := range fig12Regimes {
+		segList[ri] = query6Events(n, ri)
+	}
+	all := workload.Concat(segList...)
+	bounds := make([]int, 0, len(segList))
+	total := 0
+	for _, seg := range segList {
+		total += len(seg)
+		bounds = append(bounds, total)
+	}
+
+	shapes := query6Shapes()
+	defs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"left-deep", core.Config{Strategy: core.StrategyFixed, Shape: shapes[0].shape, BatchSize: 256}},
+		{"right-deep", core.Config{Strategy: core.StrategyFixed, Shape: shapes[1].shape, BatchSize: 256}},
+		{"inner", core.Config{Strategy: core.StrategyFixed, Shape: shapes[3].shape, BatchSize: 256}},
+		{"adaptive", core.Config{Strategy: core.StrategyOptimal, Adaptive: true, AdaptEvery: 2,
+			BatchSize: 256, DriftThreshold: 0.3, ImproveThreshold: 0.05}},
+	}
+
+	perSegment := make([][]float64, len(segList))
+	for si := range perSegment {
+		perSegment[si] = make([]float64, len(defs))
+	}
+	for di, def := range defs {
+		eng, err := core.NewEngine(q, def.cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		seg, segStart := 0, 0
+		start := time.Now()
+		for i, ev := range all {
+			cp := *ev
+			eng.Process(&cp)
+			if i+1 == bounds[seg] {
+				elapsed := time.Since(start).Seconds()
+				perSegment[seg][di] = float64(i+1-segStart) / elapsed
+				segStart = i + 1
+				seg++
+				start = time.Now()
+			}
+		}
+		eng.Flush()
+	}
+	for si := range segList {
+		s := Series{Label: fmt.Sprintf("segment %d (%s)", si+1, fig12Regimes[si].label)}
+		for di, def := range defs {
+			s.Runs = append(s.Runs, Run{Plan: def.name, Throughput: perSegment[si][di]})
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: adaptive tracks the best fixed plan in every segment")
+	return res, nil
+}
+
+// --- Figures 15 / 16: negation push-down -----------------------------------
+
+var negRateSweep = []int{1, 10, 20, 30, 40, 50}
+
+// negationExperiment measures Query 7 with NSEQ push-down vs NEG-on-top
+// while one class's relative rate grows.
+func negationExperiment(scale Scale, id, title string, weightsOf func(k int) []float64, axis string) (*Result, error) {
+	q := query7()
+	res := &Result{ID: id, Title: title, ShowThroughput: true}
+	n := scale.n(60_000)
+	for _, k := range negRateSweep {
+		events := workload.GenStocks(workload.StockSpec{
+			N: n, Seed: int64(15), Names: []string{"IBM", "Sun", "Oracle"},
+			Weights: weightsOf(k),
+		})
+		s := Series{Label: fmt.Sprintf(axis, k)}
+		for _, def := range []struct {
+			name string
+			mode plan.NegPlacement
+		}{{"NSEQ", plan.NegPushdown}, {"NEG-on-top", plan.NegTop}} {
+			run, err := runEngine(q, core.Config{
+				Strategy: core.StrategyLeftDeep, Negation: def.mode, BatchSize: 256,
+			}, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = def.name
+			s.Runs = append(s.Runs, run)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes, "expect: NSEQ >= NEG-on-top at every point (paper: up to ~an order of magnitude)")
+	return res, nil
+}
+
+// Fig15 grows the Oracle (non-negated, following) class rate.
+func Fig15(scale Scale) (*Result, error) {
+	return negationExperiment(scale, "fig15",
+		"Query 7 throughput, NSEQ vs NEG-on-top, varying Oracle rate",
+		func(k int) []float64 { return []float64{1, 1, float64(k)} }, "1:1:%d")
+}
+
+// Fig16 grows the Sun (negated) class rate.
+func Fig16(scale Scale) (*Result, error) {
+	return negationExperiment(scale, "fig16",
+		"Query 7 throughput, NSEQ vs NEG-on-top, varying Sun rate",
+		func(k int) []float64 { return []float64{1, float64(k), 1} }, "1:%d:1")
+}
+
+// --- Table 4 / Figure 17 / Table 5: web log --------------------------------
+
+// weblogSpec scales the one-month span with N so the event density inside
+// the 10-hour window (~21 records) matches the full-size dataset at any
+// scale.
+func weblogSpec(n int) workload.WeblogSpec {
+	span := int64(float64(30*24*3_600_000) * float64(n) / float64(workload.Table4.Total))
+	return workload.WeblogSpec{N: n, Seed: 17, SpanTicks: span}
+}
+
+// Table4Exp generates the web log and reports the per-class access counts
+// against the paper's Table 4.
+func Table4Exp(scale Scale) (*Result, error) {
+	n := scale.n(1_500_000)
+	_, counts := workload.GenWeblog(weblogSpec(n))
+	res := &Result{ID: "tab4", Title: "Web log class cardinalities (generated vs paper)", ShowMatches: true}
+	res.Series = []Series{
+		{Label: "generated", Runs: []Run{
+			{Plan: "publication", Matches: uint64(counts.Publications)},
+			{Plan: "project", Matches: uint64(counts.Projects)},
+			{Plan: "courses", Matches: uint64(counts.Courses)},
+		}},
+		{Label: "paper (Table 4)", Runs: []Run{
+			{Plan: "publication", Matches: uint64(scalePaper(workload.Table4.Publications, n))},
+			{Plan: "project", Matches: uint64(scalePaper(workload.Table4.Projects, n))},
+			{Plan: "courses", Matches: uint64(scalePaper(workload.Table4.Courses, n))},
+		}},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("total records: %d (paper: %d; proportions preserved at reduced scale)", n, workload.Table4.Total))
+	return res, nil
+}
+
+func scalePaper(ref, n int) int {
+	return int(float64(ref) * float64(n) / float64(workload.Table4.Total))
+}
+
+// Fig17 measures Query 8 throughput on the web log for left-deep,
+// right-deep and NFA.
+func Fig17(scale Scale) (*Result, error) {
+	q := query8()
+	res := &Result{ID: "fig17", Title: "Query 8 throughput on the web log (left-deep / right-deep / NFA)", ShowThroughput: true}
+	n := scale.n(1_500_000)
+	events, _ := workload.GenWeblog(weblogSpec(n))
+	s, err := treeAndNFASeries(q, "weblog-access", events)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, *s)
+
+	// hash-equality ablation row (ZStream's §5.2.2 optimization; the NFA
+	// cannot hash, so the paper's main comparison runs without it)
+	s2 := Series{Label: "weblog-access +hash"}
+	for _, def := range []struct {
+		name string
+		str  core.Strategy
+	}{{"left-deep", core.StrategyLeftDeep}, {"right-deep", core.StrategyRightDeep}} {
+		run, err := runEngine(q, core.Config{Strategy: def.str, UseHash: true, BatchSize: 256}, events)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = def.name
+		s2.Runs = append(s2.Runs, run)
+	}
+	s2.Runs = append(s2.Runs, Run{Plan: "NFA"})
+	res.Series = append(res.Series, s2)
+	res.Notes = append(res.Notes,
+		"expect: left-deep much faster (publication accesses are rarest, Table 4); NFA slightly below right-deep")
+	return res, nil
+}
+
+// Table5 reports peak memory for the Query 8 plans.
+func Table5(scale Scale) (*Result, error) {
+	q := query8()
+	res := &Result{ID: "tab5", Title: "Query 8 peak memory (MB)", ShowMemory: true}
+	n := scale.n(1_500_000)
+	events, _ := workload.GenWeblog(weblogSpec(n))
+	s, err := treeAndNFASeries(q, "weblog-access", events)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, *s)
+	res.Notes = append(res.Notes, "expect: peak memory comparable across plans (paper: 10.1-10.7 MB)")
+	return res, nil
+}
+
+// --- §5.2.3: optimizer timing ----------------------------------------------
+
+// OptimizerTiming verifies the dynamic program plans a 20-class pattern in
+// under 10 ms (§5.2.3).
+func OptimizerTiming(Scale) (*Result, error) {
+	res := &Result{ID: "opt", Title: "Algorithm 5 planning time vs pattern length", ShowThroughput: true}
+	for _, n := range []int{4, 8, 12, 16, 20} {
+		pat := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				pat += ";"
+			}
+			pat += fmt.Sprintf("C%d", i)
+		}
+		q := query.MustParse("PATTERN " + pat + " WITHIN 100")
+		st := cost.UniformStats(q.Info, q.Within, 1)
+		start := time.Now()
+		const reps = 10
+		for r := 0; r < reps; r++ {
+			if _, err := optimizer.Optimize(q, st, false); err != nil {
+				return nil, err
+			}
+		}
+		perPlan := time.Since(start) / reps
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("pattern length %d", n),
+			Runs:  []Run{{Plan: "DP search", Throughput: float64(perPlan.Microseconds())}},
+		})
+	}
+	res.Notes = append(res.Notes, "values are microseconds per plan search; paper: < 10 ms (10000us) at length 20")
+	return res, nil
+}

@@ -1,0 +1,502 @@
+// Package nfa is the NFA-based baseline ZStream is compared against (§6):
+// a SASE-style evaluator [15] with one state per event class in pattern
+// order, active instance stacks (AIS), and a recent-instance pointer (RIP)
+// per instance. A match is assembled by backward search from each final-
+// state instance through the RIP-bounded prefixes of the earlier stacks.
+//
+// Following the paper's baseline faithfully:
+//   - the evaluation order is fixed (backward from the final state), which
+//     is why its performance tracks the right-deep tree plan;
+//   - intermediate results are not materialized: every final-state instance
+//     re-runs the backward search;
+//   - negation is applied as a post-filter on complete matches;
+//   - conjunction, disjunction and Kleene closure are not supported.
+package nfa
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// instance is one AIS entry.
+type instance struct {
+	ev *event.Event
+	// rip is the absolute index of the most recent instance in the
+	// previous stack when this instance was inserted.
+	rip int
+}
+
+// stack is an AIS with an absolute base offset so pruning does not
+// invalidate RIPs.
+type stack struct {
+	base int
+	inst []instance
+}
+
+func (s *stack) len() int             { return s.base + len(s.inst) }
+func (s *stack) at(abs int) *instance { return &s.inst[abs-s.base] }
+func (s *stack) push(i instance)      { s.inst = append(s.inst, i) }
+func (s *stack) pruneBefore(ts int64) {
+	drop := 0
+	for drop < len(s.inst) && s.inst[drop].ev.Ts < ts {
+		drop++
+	}
+	if drop > 0 {
+		s.inst = append(s.inst[:0], s.inst[drop:]...)
+		s.base += drop
+	}
+}
+
+// negState buffers negation-class events for the post-filter.
+type negState struct {
+	term    int
+	classes []int
+	events  [][]*event.Event // per class
+	pred    expr.Predicate
+	prev    []int
+	next    []int
+}
+
+// pendingMatch is a complete match awaiting trailing-negation confirmation.
+type pendingMatch struct {
+	bound []*event.Event // per positive state
+	start int64
+}
+
+// Machine evaluates one sequential (optionally negated) pattern.
+type Machine struct {
+	q      *query.Query
+	window int64
+
+	// positive states, in pattern order; pos[i] is the class index.
+	pos     []int
+	filters []expr.Predicate // single-class filters per state
+	stacks  []*stack
+	// preds[i] are the multi-class predicates evaluable once state i is
+	// bound during backward search (all other referenced classes are at
+	// later states).
+	preds [][]expr.Predicate
+
+	negs     []*negState
+	trailing bool
+	pending  []pendingMatch
+
+	emit    func(bound []*event.Event)
+	matches uint64
+	now     int64
+	seen    int
+	peakRec int
+}
+
+// New compiles q into an NFA machine. Patterns with conjunction,
+// disjunction or Kleene closure are rejected, as in the paper's baseline.
+func New(q *query.Query) (*Machine, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("nfa: query not analyzed")
+	}
+	m := &Machine{q: q, window: q.Within, now: -1 << 62}
+	stateOf := map[int]int{} // class -> positive state index
+	for ti, t := range in.Terms {
+		switch t.Kind {
+		case query.TermClass:
+			stateOf[t.Classes[0]] = len(m.pos)
+			m.pos = append(m.pos, t.Classes[0])
+		case query.TermNeg:
+			ns := &negState{term: ti, classes: t.Classes,
+				events: make([][]*event.Event, len(t.Classes))}
+			m.negs = append(m.negs, ns)
+			if ti == len(in.Terms)-1 {
+				m.trailing = true
+			}
+		default:
+			return nil, fmt.Errorf("nfa: %v patterns are not supported by the NFA baseline", t.Kind)
+		}
+	}
+	if len(m.pos) == 0 {
+		return nil, fmt.Errorf("nfa: no positive event classes")
+	}
+
+	// single-class filters per state and per negation class
+	m.filters = make([]expr.Predicate, len(m.pos))
+	m.stacks = make([]*stack, len(m.pos))
+	for i := range m.stacks {
+		m.stacks[i] = &stack{}
+	}
+	singleOf := func(c int) (expr.Predicate, error) {
+		var cmps []*query.Cmp
+		for _, pi := range in.Preds {
+			if pi.Single() && !pi.HasAgg && pi.Classes[0] == c {
+				cmps = append(cmps, pi.Cmp)
+			}
+		}
+		if len(cmps) == 0 {
+			return nil, nil
+		}
+		return expr.CompilePreds(cmps)
+	}
+	for i, c := range m.pos {
+		f, err := singleOf(c)
+		if err != nil {
+			return nil, err
+		}
+		m.filters[i] = f
+	}
+
+	// multi-class predicates: during backward search state i is bound
+	// after states i+1..n-1, so a predicate is evaluable at the smallest
+	// state it references.
+	m.preds = make([][]expr.Predicate, len(m.pos))
+	for _, pi := range in.Preds {
+		if pi.Single() || pi.HasAgg {
+			continue
+		}
+		negPred := false
+		for _, c := range pi.Classes {
+			if in.Classes[c].Negated {
+				negPred = true
+			}
+		}
+		if negPred {
+			continue // attached to the negation post-filter below
+		}
+		lowest := len(m.pos)
+		for _, c := range pi.Classes {
+			if s, ok := stateOf[c]; ok && s < lowest {
+				lowest = s
+			}
+		}
+		p, err := expr.CompilePred(pi.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		m.preds[lowest] = append(m.preds[lowest], p)
+	}
+
+	// negation post-filter predicates and surrounding classes
+	for _, ns := range m.negs {
+		negSet := map[int]bool{}
+		for _, c := range ns.classes {
+			negSet[c] = true
+		}
+		var cmps []*query.Cmp
+		for _, pi := range in.Preds {
+			if pi.Single() || pi.HasAgg {
+				continue
+			}
+			touches := false
+			for _, c := range pi.Classes {
+				if negSet[c] {
+					touches = true
+				}
+			}
+			if touches {
+				cmps = append(cmps, pi.Cmp)
+			}
+		}
+		if len(cmps) > 0 {
+			p, err := expr.CompilePreds(cmps)
+			if err != nil {
+				return nil, err
+			}
+			ns.pred = p
+		}
+		for i := 0; i < ns.term; i++ {
+			if in.Terms[i].Kind != query.TermNeg {
+				ns.prev = append(ns.prev, in.Terms[i].Classes...)
+			}
+		}
+		for i := ns.term + 1; i < len(in.Terms); i++ {
+			if in.Terms[i].Kind != query.TermNeg {
+				ns.next = append(ns.next, in.Terms[i].Classes...)
+			}
+		}
+	}
+	return m, nil
+}
+
+// SetEmit installs the match callback; bound holds one event per positive
+// state, in pattern order.
+func (m *Machine) SetEmit(f func(bound []*event.Event)) { m.emit = f }
+
+// Matches returns the number of matches detected.
+func (m *Machine) Matches() uint64 { return m.matches }
+
+// Process feeds one event, in timestamp order.
+func (m *Machine) Process(e *event.Event) {
+	if e.Ts > m.now {
+		m.now = e.Ts
+	}
+	// negation classes buffer events for the post-filter
+	for _, ns := range m.negs {
+		for k, c := range ns.classes {
+			f, err := m.singleFilterOf(c)
+			if err == nil && (f == nil || f(expr.EventEnv{Class: c, E: e})) {
+				ns.events[k] = append(ns.events[k], e)
+			}
+		}
+	}
+	// state transitions: an event may enter any state whose filter it
+	// passes, provided the previous state has an active instance (NFA
+	// semantics: the automaton must have reached the prior state).
+	for i := range m.pos {
+		if m.filters[i] != nil && !m.filters[i](expr.EventEnv{Class: m.pos[i], E: e}) {
+			continue
+		}
+		if i > 0 && m.stacks[i-1].len() == 0 {
+			continue
+		}
+		rip := -1
+		if i > 0 {
+			rip = m.stacks[i-1].len() - 1
+		}
+		m.stacks[i].push(instance{ev: e, rip: rip})
+		if i == len(m.pos)-1 {
+			m.search(e, rip)
+		}
+	}
+	m.confirmPending()
+	m.seen++
+	if m.seen%256 == 0 {
+		m.prune()
+		live := len(m.pending)
+		for _, st := range m.stacks {
+			live += len(st.inst)
+		}
+		for _, ns := range m.negs {
+			for _, evs := range ns.events {
+				live += len(evs)
+			}
+		}
+		if live > m.peakRec {
+			m.peakRec = live
+		}
+	}
+}
+
+// PeakMemBytes approximates the peak bytes held by live stack instances
+// (the counterpart of the tree engine's live-buffer accounting).
+func (m *Machine) PeakMemBytes() int64 { return int64(m.peakRec) * 32 }
+
+// singleFilterOf compiles (per call; negation classes only, small) the
+// single-class filter of class c.
+func (m *Machine) singleFilterOf(c int) (expr.Predicate, error) {
+	var cmps []*query.Cmp
+	for _, pi := range m.q.Info.Preds {
+		if pi.Single() && !pi.HasAgg && pi.Classes[0] == c {
+			cmps = append(cmps, pi.Cmp)
+		}
+	}
+	if len(cmps) == 0 {
+		return nil, nil
+	}
+	return expr.CompilePreds(cmps)
+}
+
+// search runs the backward DAG search from a final-state instance.
+func (m *Machine) search(final *event.Event, rip int) {
+	n := len(m.pos)
+	bound := make([]*event.Event, n)
+	bound[n-1] = final
+	if !m.checkPreds(n-1, bound) {
+		return
+	}
+	minStart := final.Ts - m.window
+	var dfs func(state int, rip int)
+	dfs = func(state int, rip int) {
+		if state < 0 {
+			m.complete(bound)
+			return
+		}
+		st := m.stacks[state]
+		lo := st.base
+		for abs := rip; abs >= lo; abs-- {
+			inst := st.at(abs)
+			if inst.ev.Ts >= bound[state+1].Ts {
+				continue // strict temporal order
+			}
+			if inst.ev.Ts < minStart {
+				break // outside the window; earlier instances worse
+			}
+			bound[state] = inst.ev
+			if !m.checkPreds(state, bound) {
+				bound[state] = nil
+				continue
+			}
+			dfs(state-1, inst.rip)
+			bound[state] = nil
+		}
+	}
+	if n == 1 {
+		m.complete(bound)
+		return
+	}
+	dfs(n-2, rip)
+}
+
+// checkPreds evaluates the predicates anchored at state.
+func (m *Machine) checkPreds(state int, bound []*event.Event) bool {
+	if len(m.preds[state]) == 0 {
+		return true
+	}
+	env := nfaEnv{m: m, bound: bound}
+	for _, p := range m.preds[state] {
+		if !p(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// complete applies the negation post-filter and emits or defers the match.
+func (m *Machine) complete(bound []*event.Event) {
+	if m.trailing {
+		cp := make([]*event.Event, len(bound))
+		copy(cp, bound)
+		m.pending = append(m.pending, pendingMatch{bound: cp, start: bound[0].Ts})
+		return
+	}
+	if m.negatedMatch(bound) {
+		return
+	}
+	m.emitMatch(bound)
+}
+
+// confirmPending emits pending trailing-negation matches whose window has
+// expired.
+func (m *Machine) confirmPending() {
+	if !m.trailing {
+		return
+	}
+	keep := m.pending[:0]
+	for _, pm := range m.pending {
+		if pm.start+m.window >= m.now {
+			keep = append(keep, pm)
+			continue
+		}
+		if !m.negatedMatch(pm.bound) {
+			m.emitMatch(pm.bound)
+		}
+	}
+	m.pending = keep
+}
+
+func (m *Machine) emitMatch(bound []*event.Event) {
+	m.matches++
+	if m.emit != nil {
+		cp := make([]*event.Event, len(bound))
+		copy(cp, bound)
+		m.emit(cp)
+	}
+}
+
+// negatedMatch checks every negation term against a complete match.
+func (m *Machine) negatedMatch(bound []*event.Event) bool {
+	if len(m.negs) == 0 {
+		return false
+	}
+	start, end := bound[0].Ts, bound[len(bound)-1].Ts
+	stateOfClass := map[int]int{}
+	for i, c := range m.pos {
+		stateOfClass[c] = i
+	}
+	for _, ns := range m.negs {
+		lo := end - m.window - 1
+		for _, c := range ns.prev {
+			if s, ok := stateOfClass[c]; ok && bound[s].Ts > lo {
+				lo = bound[s].Ts
+			}
+		}
+		hi := start + m.window + 1
+		for _, c := range ns.next {
+			if s, ok := stateOfClass[c]; ok && bound[s].Ts < hi {
+				hi = bound[s].Ts
+				break
+			}
+		}
+		for k, c := range ns.classes {
+			for _, b := range ns.events[k] {
+				if b.Ts <= lo || b.Ts >= hi {
+					continue
+				}
+				if ns.pred == nil || ns.pred(negEnv{m: m, bound: bound, negClass: c, b: b}) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Flush confirms all pending trailing-negation matches.
+func (m *Machine) Flush() {
+	saved := m.now
+	m.now = 1<<62 - 1
+	m.confirmPending()
+	m.now = saved
+}
+
+// prune discards stack and negation entries outside any possible window.
+func (m *Machine) prune() {
+	cut := m.now - m.window
+	for _, st := range m.stacks {
+		st.pruneBefore(cut)
+	}
+	for _, ns := range m.negs {
+		for k := range ns.events {
+			evs := ns.events[k]
+			drop := 0
+			for drop < len(evs) && evs[drop].Ts < cut-m.window {
+				drop++
+			}
+			ns.events[k] = evs[drop:]
+		}
+	}
+}
+
+// nfaEnv exposes bound states as an expr.Env.
+type nfaEnv struct {
+	m     *Machine
+	bound []*event.Event
+}
+
+func (e nfaEnv) Event(class int) *event.Event {
+	for i, c := range e.m.pos {
+		if c == class {
+			return e.bound[i]
+		}
+	}
+	return nil
+}
+
+func (e nfaEnv) Group(class int) []*event.Event {
+	if ev := e.Event(class); ev != nil {
+		return []*event.Event{ev}
+	}
+	return nil
+}
+
+// negEnv additionally binds one negation-class event.
+type negEnv struct {
+	m        *Machine
+	bound    []*event.Event
+	negClass int
+	b        *event.Event
+}
+
+func (e negEnv) Event(class int) *event.Event {
+	if class == e.negClass {
+		return e.b
+	}
+	return nfaEnv{m: e.m, bound: e.bound}.Event(class)
+}
+
+func (e negEnv) Group(class int) []*event.Event {
+	if ev := e.Event(class); ev != nil {
+		return []*event.Event{ev}
+	}
+	return nil
+}

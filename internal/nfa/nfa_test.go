@@ -1,0 +1,177 @@
+package nfa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/ref"
+)
+
+func genStream(seed int64, n int, names []string) []*event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*event.Event
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += int64(rng.Intn(3))
+		out = append(out, event.NewStock(uint64(i+1), ts, int64(i),
+			names[rng.Intn(len(names))], float64(1+rng.Intn(100)), float64(1+rng.Intn(10))))
+	}
+	return out
+}
+
+// run executes the machine and returns canonical keys in the same format
+// ref.Find produces (per-class seq lists joined by '|').
+func run(t *testing.T, q *query.Query, events []*event.Event) []string {
+	t.Helper()
+	m, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Info
+	var keys []string
+	m.SetEmit(func(bound []*event.Event) {
+		byClass := map[int]*event.Event{}
+		for i, c := range m.pos {
+			byClass[c] = bound[i]
+		}
+		var sb strings.Builder
+		for c := 0; c < in.NumClasses(); c++ {
+			if c > 0 {
+				sb.WriteByte('|')
+			}
+			if e := byClass[c]; e != nil {
+				fmt.Fprintf(&sb, "%d", e.Seq)
+			}
+		}
+		keys = append(keys, sb.String())
+	})
+	for _, e := range events {
+		m.Process(e)
+	}
+	m.Flush()
+	sort.Strings(keys)
+	return keys
+}
+
+func differential(t *testing.T, src string, seed int64, n int, names []string) {
+	t.Helper()
+	q := query.MustParse(src)
+	events := genStream(seed, n, names)
+	want, err := ref.Find(q, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, q, events)
+	if len(got) != len(want) {
+		t.Fatalf("%q: NFA %d matches, oracle %d\nnfa: %v\noracle: %v", src, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: match %d differs: %q vs %q", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNFASequence(t *testing.T) {
+	differential(t, `PATTERN A;B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 20`, 1, 70, []string{"A", "B", "C"})
+}
+
+func TestNFASequenceNoFilters(t *testing.T) {
+	differential(t, `PATTERN A;B;C WITHIN 8`, 2, 35, []string{"X"})
+}
+
+func TestNFAPredicates(t *testing.T) {
+	differential(t, `PATTERN A;B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND A.price > B.price AND C.price > 1.1 * B.price WITHIN 25`, 3, 70, []string{"A", "B", "C"})
+}
+
+func TestNFAEqualityPredicate(t *testing.T) {
+	differential(t, `PATTERN A;B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND A.volume = C.volume WITHIN 15`, 4, 70, []string{"A", "B", "C"})
+}
+
+func TestNFANegationMiddle(t *testing.T) {
+	differential(t, `PATTERN A;!B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 20`, 5, 60, []string{"A", "B", "C"})
+}
+
+func TestNFANegationPredicate(t *testing.T) {
+	differential(t, `PATTERN A;!B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND B.price < C.price WITHIN 20`, 6, 60, []string{"A", "B", "C"})
+}
+
+func TestNFATrailingNegation(t *testing.T) {
+	differential(t, `PATTERN A;B;!C
+		WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 12`, 8, 60, []string{"A", "B", "C"})
+}
+
+func TestNFALeadingNegation(t *testing.T) {
+	differential(t, `PATTERN !A;B;C
+		WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 12`, 9, 60, []string{"A", "B", "C"})
+}
+
+func TestNFAFourClasses(t *testing.T) {
+	differential(t, `PATTERN A;B;C;D
+		WHERE A.name='A' AND B.name='B' AND C.name='C' AND D.name='D'
+		AND C.price > B.price AND C.price > D.price WITHIN 30`, 10, 80, []string{"A", "B", "C", "D"})
+}
+
+func TestNFAManySeeds(t *testing.T) {
+	for seed := int64(50); seed < 56; seed++ {
+		differential(t, `PATTERN A;B;C
+			WHERE A.name='A' AND B.name='B' AND C.name='C'
+			AND A.price > B.price WITHIN 18`, seed, 60, []string{"A", "B", "C"})
+	}
+}
+
+func TestNFARejectsUnsupported(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN A & B WITHIN 10",
+		"PATTERN (A|B);C WITHIN 10",
+		"PATTERN A;B*;C WITHIN 10",
+		"PATTERN A;B^3;C WITHIN 10",
+	} {
+		q := query.MustParse(src)
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%q): expected unsupported error", src)
+		}
+	}
+}
+
+func TestNFAPruneKeepsCorrectness(t *testing.T) {
+	// long stream so pruning kicks in (every 256 events)
+	q := query.MustParse(`PATTERN A;B
+		WHERE A.name='A' AND B.name='B' WITHIN 10`)
+	events := genStream(11, 2000, []string{"A", "B"})
+	want, err := ref.Find(q, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, q, events)
+	if len(got) != len(want) {
+		t.Fatalf("prune broke matches: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestNFAMatchesCounter(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 50`)
+	m, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Process(event.NewStock(1, 1, 1, "A", 1, 1))
+	m.Process(event.NewStock(2, 2, 2, "B", 1, 1))
+	m.Flush()
+	if m.Matches() != 1 {
+		t.Errorf("matches = %d", m.Matches())
+	}
+}

@@ -1,0 +1,91 @@
+package operator
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/expr"
+)
+
+// Conj evaluates the conjunction operator (Algorithm 3, §4.4.3) as a
+// sort-merge join: both child buffers keep a cursor at the oldest
+// not-yet-matched record; each step advances the cursor pointing at the
+// earlier record Pr and combines Pr with every earlier record of the other
+// buffer. Processing the globally earliest record at each step produces
+// output in end-time order.
+//
+// Unlike Seq, neither child buffer is dropped after consumption: records
+// before the cursors still combine with future events from the other side.
+// Stale records are reclaimed by EAT eviction only.
+type Conj struct {
+	left, right Node
+	out         *buffer.Buf
+	checks      combineChecks
+
+	pairsTried uint64
+	emitted    uint64
+}
+
+// NewConj builds a conjunction node. pred may be nil.
+func NewConj(left, right Node, window int64, pred expr.Predicate) *Conj {
+	return &Conj{left: left, right: right, out: buffer.New(),
+		checks: combineChecks{window: window, pred: pred}}
+}
+
+// Out returns the output buffer.
+func (c *Conj) Out() *buffer.Buf { return c.out }
+
+// Children returns the two children.
+func (c *Conj) Children() []Node { return []Node{c.left, c.right} }
+
+// Label names the node.
+func (c *Conj) Label() string { return "conj" }
+
+// Stats returns candidate pairs tried and records emitted.
+func (c *Conj) Stats() (pairs, emitted uint64) { return c.pairsTried, c.emitted }
+
+// Reset clears the output buffer.
+func (c *Conj) Reset() { c.out.Clear() }
+
+// Assemble runs Algorithm 3 for one round.
+func (c *Conj) Assemble(eat, now int64) {
+	c.left.Assemble(eat, now)
+	c.right.Assemble(eat, now)
+
+	lbuf, rbuf := c.left.Out(), c.right.Out()
+	li, ri := lbuf.Cursor(), rbuf.Cursor()
+	for li < lbuf.Len() || ri < rbuf.Len() {
+		var pr *buffer.Record
+		var other *buffer.Buf
+		var otherEnd int
+		// pick the cursor pointing at the earlier record (ties: left)
+		if ri >= rbuf.Len() || (li < lbuf.Len() && lbuf.At(li).End <= rbuf.At(ri).End) {
+			pr = lbuf.At(li)
+			other, otherEnd = rbuf, ri
+			li++
+		} else {
+			pr = rbuf.At(ri)
+			other, otherEnd = lbuf, li
+			ri++
+		}
+		if pr.Start < eat {
+			continue
+		}
+		// records ending before Pr.End - window cannot fit the window
+		j0 := other.LowerBoundEnd(pr.End - c.checks.window)
+		for j := j0; j < otherEnd; j++ {
+			br := other.At(j)
+			if br.Start < eat {
+				continue
+			}
+			c.pairsTried++
+			if !c.checks.ok(br, pr) {
+				continue
+			}
+			c.out.Append(buffer.Combine(br, pr))
+			c.emitted++
+		}
+	}
+	lbuf.Advance(li - lbuf.Cursor())
+	rbuf.Advance(ri - rbuf.Cursor())
+}
+
+var _ Node = (*Conj)(nil)

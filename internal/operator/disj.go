@@ -1,0 +1,78 @@
+package operator
+
+import (
+	"repro/internal/buffer"
+)
+
+// Disj evaluates disjunction (§4.4.4): the union of its inputs, merged by
+// end time. Output records are the input records themselves (a copy of the
+// slot vector is unnecessary because records are immutable once buffered),
+// matching the paper's observation that disjunction results need no
+// materialization.
+type Disj struct {
+	children []Node
+	out      *buffer.Buf
+	drop     bool
+
+	emitted uint64
+}
+
+// NewDisj builds a disjunction over two or more children.
+func NewDisj(children []Node, dropChildren bool) *Disj {
+	return &Disj{children: children, out: buffer.New(), drop: dropChildren}
+}
+
+// Out returns the output buffer.
+func (d *Disj) Out() *buffer.Buf { return d.out }
+
+// Children returns the children.
+func (d *Disj) Children() []Node { return d.children }
+
+// Label names the node.
+func (d *Disj) Label() string { return "disj" }
+
+// Stats returns the number of records emitted.
+func (d *Disj) Stats() (emitted uint64) { return d.emitted }
+
+// Reset clears the output buffer.
+func (d *Disj) Reset() { d.out.Clear() }
+
+// Assemble merges the unconsumed region of every child by end time.
+func (d *Disj) Assemble(eat, now int64) {
+	for _, ch := range d.children {
+		ch.Assemble(eat, now)
+	}
+	// k-way merge over the children's unconsumed regions.
+	idx := make([]int, len(d.children))
+	for i, ch := range d.children {
+		idx[i] = ch.Out().Cursor()
+	}
+	for {
+		best := -1
+		var bestEnd int64
+		for i, ch := range d.children {
+			b := ch.Out()
+			if idx[i] >= b.Len() {
+				continue
+			}
+			if e := b.At(idx[i]).End; best < 0 || e < bestEnd {
+				best, bestEnd = i, e
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := d.children[best].Out().At(idx[best])
+		idx[best]++
+		if r.Start < eat {
+			continue
+		}
+		d.out.Append(r)
+		d.emitted++
+	}
+	for _, ch := range d.children {
+		consume(ch.Out(), d.drop)
+	}
+}
+
+var _ Node = (*Disj)(nil)

@@ -1,0 +1,300 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// KSeq evaluates Kleene closure (Algorithm 4, §4.4.5) as a trinary
+// operator: a start child fixes the beginning of the closure, an end child
+// fixes its end, and middle-buffer events strictly between them are
+// grouped. With an unspecified count ('*' or '+') the maximal group is
+// formed, producing one result per (start, end) pair; with count k a
+// sliding window of k consecutive eligible events produces one result per
+// window position (Figure 6).
+//
+// The start and end children may be nil when the closure opens or closes
+// the pattern (§4.4.5). A trailing closure (nil end) is confirmed when its
+// window expires, like a trailing negation.
+type KSeq struct {
+	start Node // may be nil
+	end   Node // may be nil
+	mid   *buffer.Buf
+	cls   int // middle (closure) class index
+
+	out      *buffer.Buf
+	window   int64
+	kind     query.ClosureKind
+	count    int
+	nclasses int
+
+	// perEvent filters individual middle events against the bound start /
+	// end records (multi-class, non-aggregate predicates on the closure
+	// class); group is evaluated on the assembled composite (aggregate
+	// predicates and predicates among the start/end classes).
+	perEvent expr.Predicate
+	group    expr.Predicate
+
+	dropEnd bool
+
+	scanned uint64
+	emitted uint64
+}
+
+// NewKSeq builds a Kleene-closure node. start and end may be nil;
+// perEvent and group may be nil.
+func NewKSeq(start Node, mid *buffer.Buf, midClass int, end Node, nclasses int,
+	window int64, kind query.ClosureKind, count int,
+	perEvent, group expr.Predicate, dropEnd bool) *KSeq {
+	if end == nil && start != nil {
+		// trailing closure: start records stall until their window
+		// expires; EAT eviction must not reclaim them.
+		start.Out().Protect()
+	}
+	return &KSeq{start: start, end: end, mid: mid, cls: midClass,
+		out: buffer.New(), window: window, kind: kind, count: count,
+		nclasses: nclasses, perEvent: perEvent, group: group, dropEnd: dropEnd}
+}
+
+// Out returns the output buffer.
+func (k *KSeq) Out() *buffer.Buf { return k.out }
+
+// Children returns the non-nil start and end children.
+func (k *KSeq) Children() []Node {
+	var out []Node
+	if k.start != nil {
+		out = append(out, k.start)
+	}
+	if k.end != nil {
+		out = append(out, k.end)
+	}
+	return out
+}
+
+// Label names the node.
+func (k *KSeq) Label() string {
+	if k.kind == query.ClosureCount {
+		return fmt.Sprintf("kseq(^%d)", k.count)
+	}
+	return "kseq(" + k.kind.String() + ")"
+}
+
+// Stats returns middle events scanned and records emitted.
+func (k *KSeq) Stats() (scanned, emitted uint64) { return k.scanned, k.emitted }
+
+// Reset clears the output buffer.
+func (k *KSeq) Reset() { k.out.Clear() }
+
+// triEnv binds the start record, the end record and one candidate middle
+// event for per-event predicate evaluation.
+type triEnv struct {
+	s, e *buffer.Record // either may be nil
+	m    *event.Event
+	cls  int
+}
+
+func (t triEnv) Event(class int) *event.Event {
+	if class == t.cls {
+		return t.m
+	}
+	if t.s != nil {
+		if ev := t.s.Slots[class].E; ev != nil {
+			return ev
+		}
+	}
+	if t.e != nil {
+		if ev := t.e.Slots[class].E; ev != nil {
+			return ev
+		}
+	}
+	return nil
+}
+
+func (t triEnv) Group(class int) []*event.Event {
+	if ev := t.Event(class); ev != nil {
+		return []*event.Event{ev}
+	}
+	return nil
+}
+
+// Assemble runs Algorithm 4 for one round.
+func (k *KSeq) Assemble(eat, now int64) {
+	if k.start != nil {
+		k.start.Assemble(eat, now)
+	}
+	if k.end != nil {
+		k.end.Assemble(eat, now)
+	}
+	switch {
+	case k.end != nil:
+		k.assembleWithEnd(eat)
+	default:
+		k.assembleTrailing(eat, now)
+	}
+}
+
+// assembleWithEnd handles closures with an end class: the end buffer is the
+// outer loop (consumed); each new end record is matched against start
+// records (or the virtual pattern start when the closure is leading).
+func (k *KSeq) assembleWithEnd(eat int64) {
+	ebuf := k.end.Out()
+	for i := ebuf.Cursor(); i < ebuf.Len(); i++ {
+		er := ebuf.At(i)
+		if er.Start < eat {
+			continue
+		}
+		if k.start == nil {
+			k.emitGroups(nil, er)
+			continue
+		}
+		sbuf := k.start.Out()
+		n := sbuf.LowerBoundEnd(er.Start)
+		// start records ending before er.End - window cannot fit
+		for j := sbuf.LowerBoundEnd(er.End - k.window); j < n; j++ {
+			sr := sbuf.At(j)
+			if sr.Start < eat || sr.End >= er.Start {
+				continue
+			}
+			k.emitGroups(sr, er)
+		}
+	}
+	consume(ebuf, k.dropEnd)
+}
+
+// assembleTrailing handles a closure that ends the pattern: start records
+// are confirmed once their window has expired, grouping the middle events
+// observed inside it.
+func (k *KSeq) assembleTrailing(eat, now int64) {
+	sbuf := k.start.Out()
+	processed := 0
+	for i := sbuf.Cursor(); i < sbuf.Len(); i++ {
+		sr := sbuf.At(i)
+		if sr.Start+k.window >= now {
+			break // window still open; later records are too
+		}
+		k.emitGroups(sr, nil)
+		processed++
+	}
+	sbuf.Advance(processed)
+	if k.dropEnd {
+		sbuf.DropConsumedPrefix()
+	}
+}
+
+// emitGroups collects the eligible middle events for a (start, end) pair
+// and emits the grouped composite(s). Either record may be nil (leading /
+// trailing closure).
+func (k *KSeq) emitGroups(sr, er *buffer.Record) {
+	// eligible middle events lie strictly between the start's end and the
+	// end's start, within the window, and satisfy the per-event predicates.
+	var lo, hi int64 // eligible m: lo < m.Ts < hi
+	switch {
+	case sr != nil && er != nil:
+		lo, hi = sr.End, er.Start
+	case sr == nil: // leading closure
+		lo, hi = er.End-k.window-1, er.Start
+	default: // trailing closure
+		lo, hi = sr.End, sr.Start+k.window+1
+	}
+	var eligible []*event.Event
+	from := k.mid.LowerBoundEnd(lo + 1)
+	for j := from; j < k.mid.Len(); j++ {
+		mr := k.mid.At(j)
+		if mr.Start >= hi {
+			break
+		}
+		if mr.Start <= lo {
+			continue
+		}
+		k.scanned++
+		if k.perEvent != nil && !k.perEvent(triEnv{s: sr, e: er, m: mr.Slots[k.cls].E, cls: k.cls}) {
+			continue
+		}
+		eligible = append(eligible, mr.Slots[k.cls].E)
+	}
+
+	switch k.kind {
+	case query.ClosureCount:
+		for i := 0; i+k.count <= len(eligible); i++ {
+			k.emitOne(sr, er, eligible[i:i+k.count])
+		}
+	case query.ClosurePlus:
+		if len(eligible) >= 1 {
+			k.emitOne(sr, er, eligible)
+		}
+	default: // star: zero or more
+		k.emitOne(sr, er, eligible)
+	}
+}
+
+// emitOne assembles one composite from the pair and the group, applies the
+// window and group predicates, and appends it to the output.
+func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
+	rec := &buffer.Record{Slots: make([]buffer.Slot, k.nclasses)}
+	var start, end int64
+	var maxSeq uint64
+	first := true
+	apply := func(r *buffer.Record) {
+		for c, s := range r.Slots {
+			if s.IsSet() {
+				rec.Slots[c] = s
+			}
+		}
+		if first || r.Start < start {
+			start = r.Start
+		}
+		if first || r.End > end {
+			end = r.End
+		}
+		first = false
+		if r.MaxSeq > maxSeq {
+			maxSeq = r.MaxSeq
+		}
+	}
+	if sr != nil {
+		apply(sr)
+	}
+	if er != nil {
+		apply(er)
+	}
+	if len(group) > 0 {
+		g := make([]*event.Event, len(group))
+		copy(g, group)
+		rec.Slots[k.cls] = buffer.Slot{Group: g}
+		if first || g[0].Ts < start {
+			start = g[0].Ts
+		}
+		if first || g[len(g)-1].Ts > end {
+			end = g[len(g)-1].Ts
+		}
+		first = false
+		for _, ev := range g {
+			if ev.Seq > maxSeq {
+				maxSeq = ev.Seq
+			}
+		}
+	}
+	if first {
+		return // star closure with no start, no end and empty group
+	}
+	rec.Start, rec.End, rec.MaxSeq = start, end, maxSeq
+	if rec.End-rec.Start > k.window {
+		return
+	}
+	if k.group != nil && !k.group(expr.RecordEnv{R: rec}) {
+		return
+	}
+	if k.end == nil {
+		// trailing closures confirm out of end order (see AppendUnordered)
+		k.out.AppendUnordered(rec)
+	} else {
+		k.out.Append(rec)
+	}
+	k.emitted++
+}
+
+var _ Node = (*KSeq)(nil)

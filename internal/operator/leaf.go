@@ -1,0 +1,69 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Leaf stores the primitive events of one event class (§4.1). Single-class
+// predicates are pushed down to the leaf: events failing the filter never
+// enter the buffer. An optional hash index supports §5.2.2 equality
+// lookups.
+//
+// Leaves are owned by the engine, not by a plan: in adaptive mode their
+// contents survive plan switches (§5.3).
+type Leaf struct {
+	class    int
+	nclasses int
+	filter   expr.Predicate // nil accepts everything
+	out      *buffer.Buf
+
+	// stats callbacks, set by the engine's sampling collectors.
+	onArrive func(e *event.Event, passed bool)
+}
+
+// NewLeaf creates a leaf for class (of nclasses total) with an optional
+// pushed-down single-class filter.
+func NewLeaf(class, nclasses int, filter expr.Predicate) *Leaf {
+	return &Leaf{class: class, nclasses: nclasses, filter: filter, out: buffer.New()}
+}
+
+// Class returns the event class index the leaf stores.
+func (l *Leaf) Class() int { return l.class }
+
+// SetObserver installs a callback invoked for every arriving event with
+// whether it passed the pushed-down filter (rate/selectivity sampling).
+func (l *Leaf) SetObserver(f func(e *event.Event, passed bool)) { l.onArrive = f }
+
+// Insert applies the pushed-down filter and buffers the event. It reports
+// whether the event was accepted.
+func (l *Leaf) Insert(e *event.Event) bool {
+	passed := l.filter == nil || l.filter(expr.EventEnv{Class: l.class, E: e})
+	if l.onArrive != nil {
+		l.onArrive(e, passed)
+	}
+	if !passed {
+		return false
+	}
+	l.out.Append(buffer.Leaf(e, l.class, l.nclasses))
+	return true
+}
+
+// Out returns the leaf buffer.
+func (l *Leaf) Out() *buffer.Buf { return l.out }
+
+// Assemble is a no-op: leaves are filled by Insert.
+func (l *Leaf) Assemble(eat, now int64) {}
+
+// Reset is a no-op: leaf contents are owned by the engine and survive plan
+// switches. Use Out().Clear() to discard them explicitly.
+func (l *Leaf) Reset() {}
+
+// Children returns nil.
+func (l *Leaf) Children() []Node { return nil }
+
+// Label names the leaf.
+func (l *Leaf) Label() string { return fmt.Sprintf("leaf(%d)", l.class) }

@@ -1,0 +1,141 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/expr"
+)
+
+// NegSpec describes one negation term for the negation-on-top filter: the
+// negation class buffers, the compiled predicates between negation events
+// and the rest of the match, and the classes temporally before and after
+// the negation term (which delimit the forbidden time range).
+type NegSpec struct {
+	NegBufs []*buffer.Buf
+	Pred    expr.Predicate // nil when unconstrained
+	Prev    []int          // class indexes before the negation term
+	Next    []int          // class indexes after the negation term
+}
+
+// Trailing reports whether the negation closes the pattern.
+func (s *NegSpec) Trailing() bool { return len(s.Next) == 0 }
+
+// NegFilter implements negation as a final filtration step on top of the
+// plan (NEG(SEQ(A,C), !B), §4.4.2): each composite produced by the child is
+// discarded when a negation event interleaves it. This is the baseline the
+// paper compares NSEQ push-down against (Figures 15/16).
+type NegFilter struct {
+	child  Node
+	out    *buffer.Buf
+	specs  []NegSpec
+	window int64
+
+	scanned uint64
+	emitted uint64
+}
+
+// NewNegFilter builds a negation filter over child. The child's buffer is
+// protected: records stalled awaiting trailing-negation confirmation are
+// complete pending matches that EAT eviction must not reclaim.
+func NewNegFilter(child Node, specs []NegSpec, window int64) *NegFilter {
+	child.Out().Protect()
+	return &NegFilter{child: child, out: buffer.New(), specs: specs, window: window}
+}
+
+// Out returns the output buffer.
+func (n *NegFilter) Out() *buffer.Buf { return n.out }
+
+// Children returns the child.
+func (n *NegFilter) Children() []Node { return []Node{n.child} }
+
+// Label names the node.
+func (n *NegFilter) Label() string { return fmt.Sprintf("neg-top(%d)", len(n.specs)) }
+
+// Stats returns negation events scanned and records emitted.
+func (n *NegFilter) Stats() (scanned, emitted uint64) { return n.scanned, n.emitted }
+
+// Reset clears the output buffer.
+func (n *NegFilter) Reset() { n.out.Clear() }
+
+// Assemble filters the child's new records. Records whose trailing
+// negation window is still open are left unconsumed for a later round.
+func (n *NegFilter) Assemble(eat, now int64) {
+	n.child.Assemble(eat, now)
+
+	trailing := false
+	for i := range n.specs {
+		if n.specs[i].Trailing() {
+			trailing = true
+		}
+	}
+	cbuf := n.child.Out()
+	processed := 0
+	for i := cbuf.Cursor(); i < cbuf.Len(); i++ {
+		rec := cbuf.At(i)
+		if trailing && rec.Start+n.window >= now {
+			break // cannot confirm yet; later records end later
+		}
+		if !n.Negated(rec) {
+			n.out.Append(rec)
+			n.emitted++
+		}
+		processed++
+	}
+	cbuf.Advance(processed)
+	cbuf.DropConsumedPrefix() // child is always internal
+}
+
+// Negated reports whether any negation event interleaves rec.
+func (n *NegFilter) Negated(rec *buffer.Record) bool {
+	for i := range n.specs {
+		if n.negatedBy(rec, &n.specs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// negatedBy checks one negation term: a negation event b negates rec when
+// lo < b.ts < hi, where lo is the end of the preceding part (or the window
+// lower bound for a leading negation) and hi the start of the following
+// part (or the window upper bound for a trailing negation), and b satisfies
+// the term's value constraints against rec.
+func (n *NegFilter) negatedBy(rec *buffer.Record, spec *NegSpec) bool {
+	lo := rec.End - n.window - 1 // leading: b.ts >= rec.End - window
+	for _, c := range spec.Prev {
+		if last := rec.Slots[c].Last(); last != nil && last.Ts > lo {
+			lo = last.Ts
+		}
+	}
+	hi := rec.Start + n.window + 1 // trailing: b.ts <= rec.Start + window
+	if !spec.Trailing() {
+		for _, c := range spec.Next {
+			if first := rec.Slots[c].First(); first != nil && first.Ts < hi {
+				hi = first.Ts
+			}
+		}
+	}
+	if hi <= lo+1 {
+		return false
+	}
+	for _, nb := range spec.NegBufs {
+		from := nb.LowerBoundEnd(lo + 1)
+		for j := from; j < nb.Len(); j++ {
+			b := nb.At(j)
+			if b.Start >= hi {
+				break
+			}
+			if b.Start <= lo {
+				continue
+			}
+			n.scanned++
+			if spec.Pred == nil || spec.Pred(expr.PairEnv{L: b, R: rec}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var _ Node = (*NegFilter)(nil)

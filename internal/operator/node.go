@@ -1,0 +1,87 @@
+// Package operator implements the tree-plan node algorithms of §4.4:
+// sequence (Algorithm 1), negation push-down NSEQ (Algorithm 2),
+// conjunction (Algorithm 3), Kleene closure KSEQ (Algorithm 4), disjunction
+// merge, and the negation-on-top filter, plus the reorder operator §4.1
+// mentions for out-of-order inputs.
+//
+// Every node owns an end-time-ordered output buffer (§4.2) and produces its
+// results in end-time order. Nodes are driven by assembly rounds (§4.3):
+// Assemble(eat, now) recursively assembles children, then combines their
+// new records into the node's buffer. Consumed child records are tracked
+// with buffer cursors; in static mode consumed right-side prefixes are
+// dropped immediately (Algorithm 1 line 7), while adaptive mode retains
+// leaf buffers so a new plan can rebuild intermediate state (§5.3).
+package operator
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/expr"
+)
+
+// Node is one node of a physical tree plan.
+type Node interface {
+	// Out returns the node's output buffer.
+	Out() *buffer.Buf
+	// Assemble runs one assembly round: children first, then this node.
+	// eat is the earliest allowed timestamp (§4.3); records starting
+	// before it cannot contribute to any future match. now is the largest
+	// event timestamp observed so far, used to confirm trailing negation
+	// and trailing closure matches at window expiry.
+	Assemble(eat, now int64)
+	// Reset discards the node's intermediate state (output buffer and
+	// internal cursors) so a new plan can rebuild it. It does not touch
+	// leaf buffers.
+	Reset()
+	// Children returns the child nodes, left to right.
+	Children() []Node
+	// Label returns a short operator name for EXPLAIN output.
+	Label() string
+}
+
+// PairGuard is a record-level predicate evaluated on a candidate (left,
+// right) combination before value predicates. Guards implement the extra
+// time constraints negation push-down introduces (Figure 4/5), which need
+// record interval endpoints rather than event attributes.
+type PairGuard func(l, r *buffer.Record) bool
+
+// combineChecks bundles the checks every combining operator applies.
+type combineChecks struct {
+	window int64
+	guards []PairGuard
+	pred   expr.Predicate // nil means no value constraints
+}
+
+// ok reports whether l and r may be combined: the combined span must fit
+// the window and all guards and value predicates must pass.
+func (c *combineChecks) ok(l, r *buffer.Record) bool {
+	start := l.Start
+	if r.Start < start {
+		start = r.Start
+	}
+	end := l.End
+	if r.End > end {
+		end = r.End
+	}
+	if end-start > c.window {
+		return false
+	}
+	for _, g := range c.guards {
+		if !g(l, r) {
+			return false
+		}
+	}
+	if c.pred != nil && !c.pred(expr.PairEnv{L: l, R: r}) {
+		return false
+	}
+	return true
+}
+
+// consume marks the processed prefix of a child buffer consumed, dropping
+// it when the child's records can never be needed again (static mode, or
+// an internal child whose state is rebuilt on plan switches anyway).
+func consume(b *buffer.Buf, drop bool) {
+	b.Consume()
+	if drop {
+		b.DropConsumedPrefix()
+	}
+}

@@ -1,0 +1,191 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/expr"
+)
+
+// NSeq evaluates negation push-down (Algorithm 2 and its mirrored variant,
+// §4.4.2). The negation side is a set of leaf buffers (a single negated
+// class, or the classes of a normalized !(B|C)); the other side is a plan
+// node.
+//
+// Left-negation form (!B ; C), Algorithm 2: for each new right record c,
+// NSeq finds the latest negation event b with b.ts < c.Start that satisfies
+// the value constraints — the event that "negates" c — and emits (b, c);
+// when no such b exists it emits (NULL, c). The parent Seq then restricts
+// its left side to records ending at or after b.ts (the Figure 4 extra time
+// constraints), implemented as the NegGuard* guards below.
+//
+// Right-negation form (A ; !B): for each left record a, the negating event
+// is the first b after a that satisfies the constraints. Because "no b
+// within the window" is only knowable once the window expires, records are
+// confirmed (emitted) when their window has passed, or as soon as a
+// negating b arrives. Emission stays in end-time order because records are
+// confirmed strictly in buffer order.
+type NSeq struct {
+	other   Node
+	negBufs []*buffer.Buf
+	negCls  []int
+	negLeft bool // true: (!B ; other); false: (other ; !B)
+	out     *buffer.Buf
+	window  int64
+	pred    expr.Predicate // constraints between negation class(es) and other side
+	drop    bool
+
+	scanned uint64
+	emitted uint64
+}
+
+// NewNSeqLeft builds the (!neg ; right) form of Algorithm 2.
+func NewNSeqLeft(negBufs []*buffer.Buf, negClasses []int, right Node, window int64, pred expr.Predicate, dropRight bool) *NSeq {
+	return &NSeq{other: right, negBufs: negBufs, negCls: negClasses, negLeft: true,
+		out: buffer.New(), window: window, pred: pred, drop: dropRight}
+}
+
+// NewNSeqRight builds the mirrored (left ; !neg) form. The left child's
+// buffer is protected: records stalled awaiting window expiry are complete
+// pending matches that EAT eviction must not reclaim.
+func NewNSeqRight(left Node, negBufs []*buffer.Buf, negClasses []int, window int64, pred expr.Predicate, dropLeft bool) *NSeq {
+	left.Out().Protect()
+	return &NSeq{other: left, negBufs: negBufs, negCls: negClasses, negLeft: false,
+		out: buffer.New(), window: window, pred: pred, drop: dropLeft}
+}
+
+// Out returns the output buffer.
+func (n *NSeq) Out() *buffer.Buf { return n.out }
+
+// Children returns the non-negation child (negation buffers are leaves
+// owned by the engine and assembled implicitly).
+func (n *NSeq) Children() []Node { return []Node{n.other} }
+
+// Label names the node.
+func (n *NSeq) Label() string {
+	if n.negLeft {
+		return fmt.Sprintf("nseq(!%v;_)", n.negCls)
+	}
+	return fmt.Sprintf("nseq(_;!%v)", n.negCls)
+}
+
+// Stats returns negation events scanned and records emitted.
+func (n *NSeq) Stats() (scanned, emitted uint64) { return n.scanned, n.emitted }
+
+// Reset clears the output buffer.
+func (n *NSeq) Reset() { n.out.Clear() }
+
+// Assemble runs one round.
+func (n *NSeq) Assemble(eat, now int64) {
+	n.other.Assemble(eat, now)
+	if n.negLeft {
+		n.assembleLeft(eat)
+	} else {
+		n.assembleRight(eat, now)
+	}
+}
+
+// assembleLeft is Algorithm 2: right records are consumed; each is paired
+// with its negating event (the latest eligible one) or NULL.
+func (n *NSeq) assembleLeft(eat int64) {
+	rbuf := n.other.Out()
+	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
+		rr := rbuf.At(i)
+		if rr.Start < eat {
+			continue
+		}
+		b := n.latestNegBefore(rr)
+		out := rr
+		if b != nil {
+			out = buffer.Combine(rr, b)
+			// The negating event is not part of the match output: keep
+			// the record's interval (and MaxSeq) that of the non-negated
+			// side so window checks and watermarks exclude it.
+			out.Start, out.End, out.MaxSeq = rr.Start, rr.End, rr.MaxSeq
+		}
+		n.out.Append(out)
+		n.emitted++
+	}
+	consume(rbuf, n.drop)
+}
+
+// latestNegBefore returns the latest negation record b with b.End <
+// rr.Start satisfying the value constraints, searching every negation
+// class buffer backward (steps 3-9 of Algorithm 2).
+func (n *NSeq) latestNegBefore(rr *buffer.Record) *buffer.Record {
+	var best *buffer.Record
+	for _, nb := range n.negBufs {
+		hi := nb.LowerBoundEnd(rr.Start) // records [0,hi) end before rr.Start
+		for j := hi - 1; j >= 0; j-- {
+			b := nb.At(j)
+			n.scanned++
+			if n.pred != nil && !n.pred(expr.PairEnv{L: b, R: rr}) {
+				continue
+			}
+			if best == nil || b.End > best.End {
+				best = b
+			}
+			break // latest eligible in this buffer found
+		}
+	}
+	return best
+}
+
+// assembleRight is the mirrored form: left records are confirmed in order,
+// each when its negating event (the first eligible one after it) arrives or
+// when its window expires with no such event. Only a prefix of the
+// unconsumed region may be confirmable, so consumption is partial.
+func (n *NSeq) assembleRight(eat, now int64) {
+	lbuf := n.other.Out()
+	processed := 0
+	for i := lbuf.Cursor(); i < lbuf.Len(); i++ {
+		lr := lbuf.At(i)
+		b := n.firstNegAfter(lr)
+		if b == nil && lr.Start+n.window >= now {
+			// Window still open and no negating event yet: neither this
+			// record nor any later one (they end later) can be confirmed.
+			break
+		}
+		out := lr
+		if b != nil {
+			out = buffer.Combine(lr, b)
+			out.Start, out.End, out.MaxSeq = lr.Start, lr.End, lr.MaxSeq
+		}
+		n.out.Append(out)
+		n.emitted++
+		processed++
+	}
+	lbuf.Advance(processed)
+	if n.drop {
+		lbuf.DropConsumedPrefix()
+	}
+}
+
+// firstNegAfter returns the earliest negation record b with b.Start >
+// lr.End, b within the window of lr, satisfying the constraints.
+func (n *NSeq) firstNegAfter(lr *buffer.Record) *buffer.Record {
+	var best *buffer.Record
+	for _, nb := range n.negBufs {
+		lo := nb.LowerBoundEnd(lr.End + 1)
+		for j := lo; j < nb.Len(); j++ {
+			b := nb.At(j)
+			n.scanned++
+			if b.Start <= lr.End {
+				continue
+			}
+			if b.End-lr.Start > n.window {
+				break // outside the window; later records only worse
+			}
+			if n.pred != nil && !n.pred(expr.PairEnv{L: lr, R: b}) {
+				continue
+			}
+			if best == nil || b.End < best.End {
+				best = b
+			}
+			break // first eligible in this buffer found
+		}
+	}
+	return best
+}
+
+var _ Node = (*NSeq)(nil)

@@ -1,0 +1,854 @@
+package operator
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// mkStock builds a stock event with seq == ts for brevity.
+func mkStock(ts int64, name string, price float64) *event.Event {
+	return event.NewStock(uint64(ts), ts, ts, name, price, 1)
+}
+
+// feed inserts events into a leaf.
+func feed(l *Leaf, evs ...*event.Event) {
+	for _, e := range evs {
+		l.Insert(e)
+	}
+}
+
+// drain returns all unconsumed output records and consumes them.
+func drain(n Node) []*buffer.Record {
+	b := n.Out()
+	var out []*buffer.Record
+	for i := b.Cursor(); i < b.Len(); i++ {
+		out = append(out, b.At(i))
+	}
+	b.Consume()
+	return out
+}
+
+// classPred compiles a predicate string over a parsed pattern for tests.
+func predOf(t *testing.T, src string) expr.Predicate {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := expr.CompilePred(q.Info.Preds[0].Cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLeafFilterPushdown(t *testing.T) {
+	p := predOf(t, "PATTERN A;B WHERE A.name = 'Google' WITHIN 10")
+	l := NewLeaf(0, 2, p)
+	if l.Insert(mkStock(1, "IBM", 5)) {
+		t.Error("IBM passed Google filter")
+	}
+	if !l.Insert(mkStock(2, "Google", 5)) {
+		t.Error("Google rejected")
+	}
+	if l.Out().Len() != 1 {
+		t.Errorf("buffer len = %d", l.Out().Len())
+	}
+	if l.Class() != 0 || l.Label() != "leaf(0)" || l.Children() != nil {
+		t.Error("leaf accessors wrong")
+	}
+}
+
+func TestLeafObserver(t *testing.T) {
+	p := predOf(t, "PATTERN A;B WHERE A.price > 10 WITHIN 10")
+	l := NewLeaf(0, 2, p)
+	var total, passed int
+	l.SetObserver(func(e *event.Event, ok bool) {
+		total++
+		if ok {
+			passed++
+		}
+	})
+	feed(l, mkStock(1, "X", 5), mkStock(2, "X", 15), mkStock(3, "X", 20))
+	if total != 3 || passed != 2 {
+		t.Errorf("observer: total=%d passed=%d", total, passed)
+	}
+}
+
+func TestSeqBasic(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, nil, true)
+
+	feed(a, mkStock(1, "A", 1), mkStock(5, "A", 2))
+	feed(b, mkStock(3, "B", 1), mkStock(7, "B", 2))
+	s.Assemble(-1000, 7)
+
+	recs := drain(s)
+	// pairs: (1,3), (1,7), (5,7) — (5,3) fails temporal order
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %v", len(recs), recs)
+	}
+	wantPairs := [][2]int64{{1, 3}, {1, 7}, {5, 7}}
+	for i, r := range recs {
+		if r.Start != wantPairs[i][0] || r.End != wantPairs[i][1] {
+			t.Errorf("rec %d = [%d,%d], want %v", i, r.Start, r.End, wantPairs[i])
+		}
+	}
+	pairs, emitted := s.Stats()
+	if pairs != 3 || emitted != 3 {
+		t.Errorf("stats = %d/%d", pairs, emitted)
+	}
+}
+
+func TestSeqStrictOrder(t *testing.T) {
+	// simultaneous events do not form a sequence: A.end < B.start strictly
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, nil, true)
+	feed(a, mkStock(5, "A", 1))
+	feed(b, mkStock(5, "B", 1))
+	s.Assemble(-1000, 5)
+	if got := len(drain(s)); got != 0 {
+		t.Errorf("simultaneous pair combined: %d", got)
+	}
+}
+
+func TestSeqWindow(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 10, nil, nil, true)
+	feed(a, mkStock(0, "A", 1))
+	feed(b, mkStock(10, "B", 1), mkStock(11, "B", 1))
+	s.Assemble(-1000, 11)
+	recs := drain(s)
+	if len(recs) != 1 || recs[0].End != 10 {
+		t.Errorf("window filter wrong: %v", recs)
+	}
+}
+
+func TestSeqPredicate(t *testing.T) {
+	p := predOf(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, p, true)
+	feed(a, mkStock(1, "A", 10), mkStock(2, "A", 30))
+	feed(b, mkStock(5, "B", 20))
+	s.Assemble(-1000, 5)
+	recs := drain(s)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Slots[0].E.Get("price").F != 30 {
+		t.Error("wrong A selected")
+	}
+}
+
+func TestSeqIncrementalRounds(t *testing.T) {
+	// consumed right records must not recombine in later rounds; left
+	// records must persist (materialization).
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 1000, nil, nil, true)
+
+	feed(a, mkStock(1, "A", 1))
+	feed(b, mkStock(2, "B", 1))
+	s.Assemble(-1000, 2)
+	if got := len(drain(s)); got != 1 {
+		t.Fatalf("round 1: %d records", got)
+	}
+	// round 2: new A (too late for old B) and new B
+	feed(a, mkStock(3, "A", 1))
+	feed(b, mkStock(4, "B", 1))
+	s.Assemble(-1000, 4)
+	recs := drain(s)
+	// new pairs: (1,4), (3,4) — NOT (1,2) again
+	if len(recs) != 2 {
+		t.Fatalf("round 2: %d records: %v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.End != 4 {
+			t.Errorf("stale right record recombined: %v", r)
+		}
+	}
+}
+
+func TestSeqDropRightStatic(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 1000, nil, nil, true)
+	feed(a, mkStock(1, "A", 1))
+	feed(b, mkStock(2, "B", 1))
+	s.Assemble(-1000, 2)
+	if b.Out().Len() != 0 {
+		t.Error("static mode did not drop right buffer")
+	}
+	// adaptive mode keeps it
+	a2 := NewLeaf(0, 2, nil)
+	b2 := NewLeaf(1, 2, nil)
+	s2 := NewSeq(a2, b2, 1000, nil, nil, false)
+	feed(a2, mkStock(1, "A", 1))
+	feed(b2, mkStock(2, "B", 1))
+	s2.Assemble(-1000, 2)
+	if b2.Out().Len() != 1 || b2.Out().Unconsumed() != 0 {
+		t.Error("adaptive mode should retain consumed right records")
+	}
+}
+
+func TestSeqHashEquality(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, nil, true)
+	keyName := func(cls int) func(*buffer.Record) event.Value {
+		return func(r *buffer.Record) event.Value { return r.Slots[cls].E.Get("name") }
+	}
+	s.UseHash(HashSpec{LeftKey: keyName(0), RightKey: keyName(1)})
+
+	feed(a, mkStock(1, "IBM", 1), mkStock(2, "Sun", 1), mkStock(3, "IBM", 1))
+	feed(b, mkStock(5, "IBM", 1), mkStock(6, "Oracle", 1))
+	s.Assemble(-1000, 6)
+	recs := drain(s)
+	// IBM@1-IBM@5, IBM@3-IBM@5; Oracle right matches nothing
+	if len(recs) != 2 {
+		t.Fatalf("hash join: %d records: %v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Slots[0].E.Get("name").S != "IBM" || r.Slots[1].E.Get("name").S != "IBM" {
+			t.Errorf("wrong names: %v", r)
+		}
+	}
+	if s.Label() != "seq[hash]" {
+		t.Errorf("label = %q", s.Label())
+	}
+}
+
+func TestSeqHashRespectsTemporalOrder(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, nil, true)
+	key := func(cls int) func(*buffer.Record) event.Value {
+		return func(r *buffer.Record) event.Value { return r.Slots[cls].E.Get("name") }
+	}
+	s.UseHash(HashSpec{LeftKey: key(0), RightKey: key(1)})
+	feed(a, mkStock(9, "IBM", 1)) // after the B event
+	feed(b, mkStock(5, "IBM", 1))
+	s.Assemble(-1000, 9)
+	if got := len(drain(s)); got != 0 {
+		t.Errorf("hash probe ignored temporal order: %d", got)
+	}
+}
+
+func TestConjBothOrders(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	c := NewConj(a, b, 100, nil)
+	feed(a, mkStock(5, "A", 1))
+	feed(b, mkStock(3, "B", 1), mkStock(8, "B", 1))
+	c.Assemble(-1000, 8)
+	recs := drain(c)
+	// pairs (3,5) and (5,8): conjunction matches in both orders
+	if len(recs) != 2 {
+		t.Fatalf("conj: %d records: %v", len(recs), recs)
+	}
+	if recs[0].Start != 3 || recs[0].End != 5 || recs[1].Start != 5 || recs[1].End != 8 {
+		t.Errorf("conj intervals: %v", recs)
+	}
+}
+
+func TestConjWindowAndPred(t *testing.T) {
+	p := predOf(t, "PATTERN A & B WHERE A.price = B.price WITHIN 10")
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	c := NewConj(a, b, 10, p)
+	feed(a, mkStock(0, "A", 1), mkStock(20, "A", 2))
+	feed(b, mkStock(5, "B", 1), mkStock(25, "B", 1))
+	c.Assemble(-1000, 25)
+	recs := drain(c)
+	// (0,5) passes: same price, within window. (20,25): price 2 vs 1 fails.
+	// (0,25),(5,20): window fails / price fails.
+	if len(recs) != 1 || recs[0].Start != 0 || recs[0].End != 5 {
+		t.Fatalf("conj filtered: %v", recs)
+	}
+}
+
+func TestConjIncremental(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	c := NewConj(a, b, 100, nil)
+	feed(a, mkStock(1, "A", 1))
+	c.Assemble(-1000, 1)
+	if got := len(drain(c)); got != 0 {
+		t.Fatalf("nothing should match yet: %d", got)
+	}
+	feed(b, mkStock(2, "B", 1))
+	c.Assemble(-1000, 2)
+	if got := len(drain(c)); got != 1 {
+		t.Fatalf("pair missing after second round: %d", got)
+	}
+	// repeat rounds must not duplicate
+	c.Assemble(-1000, 2)
+	if got := len(drain(c)); got != 0 {
+		t.Errorf("duplicate pairs: %d", got)
+	}
+}
+
+func TestConjSimultaneousEvents(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	c := NewConj(a, b, 100, nil)
+	feed(a, mkStock(5, "A", 1))
+	feed(b, mkStock(5, "B", 1))
+	c.Assemble(-1000, 5)
+	recs := drain(c)
+	// conjunction does not order its operands: simultaneous events match
+	if len(recs) != 1 {
+		t.Fatalf("simultaneous conj pair: %d records", len(recs))
+	}
+}
+
+func TestDisjMerge(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	d := NewDisj([]Node{a, b}, true)
+	feed(a, mkStock(1, "A", 1), mkStock(5, "A", 1))
+	feed(b, mkStock(3, "B", 1))
+	d.Assemble(-1000, 5)
+	recs := drain(d)
+	if len(recs) != 3 {
+		t.Fatalf("disj: %d records", len(recs))
+	}
+	wantTs := []int64{1, 3, 5}
+	for i, r := range recs {
+		if r.End != wantTs[i] {
+			t.Errorf("disj order: rec %d end=%d want %d", i, r.End, wantTs[i])
+		}
+	}
+	if d.Stats() != 3 {
+		t.Errorf("emitted = %d", d.Stats())
+	}
+}
+
+func TestDisjIncremental(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	d := NewDisj([]Node{a, b}, true)
+	feed(a, mkStock(1, "A", 1))
+	d.Assemble(-1000, 1)
+	if got := len(drain(d)); got != 1 {
+		t.Fatalf("round 1: %d", got)
+	}
+	feed(b, mkStock(2, "B", 1))
+	d.Assemble(-1000, 2)
+	if got := len(drain(d)); got != 1 {
+		t.Fatalf("round 2: %d", got)
+	}
+}
+
+// TestNSeqFigure5 reproduces the exact scenario of Figure 5: pattern
+// "A; !B; C", events a1, b2, b3, a4, c5 (subscript = timestamp). b3
+// negates c5, so only a4 survives the A.end >= B.ts guard.
+func TestNSeqFigure5(t *testing.T) {
+	// classes: A=0, B=1 (negated), C=2
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+
+	ns := NewNSeqLeft([]*buffer.Buf{bLeaf.Out()}, []int{1}, cLeaf, 100, nil, true)
+	guard := func(l, r *buffer.Record) bool {
+		// a.End >= b.ts (Figure 4's extra time constraint)
+		if b := r.Slots[1].E; b != nil && l.End < b.Ts {
+			return false
+		}
+		return true
+	}
+	root := NewSeq(aLeaf, ns, 100, []PairGuard{guard}, nil, true)
+
+	feed(aLeaf, mkStock(1, "A", 1), mkStock(4, "A", 1))
+	feed(bLeaf, mkStock(2, "B", 1), mkStock(3, "B", 1))
+	feed(cLeaf, mkStock(5, "C", 1))
+	root.Assemble(-1000, 5)
+
+	recs := drain(root)
+	if len(recs) != 1 {
+		t.Fatalf("got %d results, want 1 (a4,c5): %v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Slots[0].E.Ts != 4 || r.Slots[2].E.Ts != 5 {
+		t.Errorf("wrong combination: %v", r)
+	}
+	// the NSEQ buffer recorded (b3, c5) as in Figure 5
+	if r.Slots[1].E == nil || r.Slots[1].E.Ts != 3 {
+		t.Errorf("negating event not b3: %v", r.Slots[1].E)
+	}
+	// record interval excludes the negation event
+	if r.Start != 4 || r.End != 5 {
+		t.Errorf("interval [%d,%d], want [4,5]", r.Start, r.End)
+	}
+}
+
+func TestNSeqNoNegationEvent(t *testing.T) {
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	ns := NewNSeqLeft([]*buffer.Buf{bLeaf.Out()}, []int{1}, cLeaf, 100, nil, true)
+	guard := func(l, r *buffer.Record) bool {
+		if b := r.Slots[1].E; b != nil && l.End < b.Ts {
+			return false
+		}
+		return true
+	}
+	root := NewSeq(aLeaf, ns, 100, []PairGuard{guard}, nil, true)
+
+	feed(aLeaf, mkStock(1, "A", 1))
+	feed(cLeaf, mkStock(5, "C", 1))
+	root.Assemble(-1000, 5)
+	recs := drain(root)
+	// no B at all: (NULL, c5) pairs with a1
+	if len(recs) != 1 {
+		t.Fatalf("got %d results: %v", len(recs), recs)
+	}
+	if recs[0].Slots[1].IsSet() {
+		t.Error("negation slot should be NULL")
+	}
+}
+
+func TestNSeqWithPredicate(t *testing.T) {
+	// negation only counts when B.price < C.price
+	p := predOf(t, "PATTERN A;!B;C WHERE B.price < C.price WITHIN 100")
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	ns := NewNSeqLeft([]*buffer.Buf{bLeaf.Out()}, []int{1}, cLeaf, 100, p, true)
+	guard := func(l, r *buffer.Record) bool {
+		if b := r.Slots[1].E; b != nil && l.End < b.Ts {
+			return false
+		}
+		return true
+	}
+	root := NewSeq(aLeaf, ns, 100, []PairGuard{guard}, nil, true)
+
+	feed(aLeaf, mkStock(1, "A", 1))
+	feed(bLeaf, mkStock(2, "B", 50), mkStock(3, "B", 5))
+	feed(cLeaf, mkStock(5, "C", 10))
+	root.Assemble(-1000, 5)
+	recs := drain(root)
+	// b@2 (price 50) does not negate (50 >= 10); b@3 (price 5 < 10) does.
+	// a1.End=1 < 3 so a1 is negated: no results.
+	if len(recs) != 0 {
+		t.Fatalf("got %d results, want 0: %v", len(recs), recs)
+	}
+
+	// now an A after b@3
+	feed(aLeaf, mkStock(4, "A", 1))
+	feed(cLeaf, mkStock(6, "C", 10))
+	root.Assemble(-1000, 6)
+	recs = drain(root)
+	if len(recs) != 1 || recs[0].Slots[0].E.Ts != 4 {
+		t.Fatalf("a4 expected: %v", recs)
+	}
+}
+
+func TestNSeqTrailing(t *testing.T) {
+	// pattern A;!B within 10: A confirmed once window expires without B
+	aLeaf := NewLeaf(0, 2, nil)
+	bLeaf := NewLeaf(1, 2, nil)
+	ns := NewNSeqRight(aLeaf, []*buffer.Buf{bLeaf.Out()}, []int{1}, 10, nil, false)
+
+	feed(aLeaf, mkStock(1, "A", 1))
+	ns.Assemble(-1000, 5)
+	if got := len(drain(ns)); got != 0 {
+		t.Fatalf("confirmed before expiry: %d", got)
+	}
+	ns.Assemble(-1000, 12) // now > 1+10
+	recs := drain(ns)
+	if len(recs) != 1 || recs[0].Slots[1].IsSet() {
+		t.Fatalf("clean A not confirmed: %v", recs)
+	}
+
+	// an A followed by a B within the window is emitted with the negating
+	// event bound (the consumer drops it at emission).
+	feed(aLeaf, mkStock(20, "A", 1))
+	feed(bLeaf, mkStock(25, "B", 1))
+	ns.Assemble(-1000, 25)
+	recs = drain(ns)
+	if len(recs) != 1 || !recs[0].Slots[1].IsSet() || recs[0].Slots[1].E.Ts != 25 {
+		t.Fatalf("negated A wrong: %v", recs)
+	}
+}
+
+// TestKSeqFigure6 reproduces Figure 6: pattern A;B^2;C and A;B*;C with
+// events a1, b2, b3, a4, b5, c6.
+func TestKSeqFigure6(t *testing.T) {
+	newPlan := func(kind query.ClosureKind, count int) (*Leaf, *Leaf, *Leaf, *KSeq) {
+		aLeaf := NewLeaf(0, 3, nil)
+		bLeaf := NewLeaf(1, 3, nil)
+		cLeaf := NewLeaf(2, 3, nil)
+		k := NewKSeq(aLeaf, bLeaf.Out(), 1, cLeaf, 3, 100, kind, count, nil, nil, true)
+		feed(aLeaf, mkStock(1, "A", 1), mkStock(4, "A", 1))
+		feed(bLeaf, mkStock(2, "B", 1), mkStock(3, "B", 1), mkStock(5, "B", 1))
+		feed(cLeaf, mkStock(6, "C", 1))
+		return aLeaf, bLeaf, cLeaf, k
+	}
+
+	// unspecified count (star): maximal groups
+	_, _, _, k := newPlan(query.ClosureStar, 0)
+	k.Assemble(-1000, 6)
+	recs := drain(k)
+	// a1: group b2,b3,b5; a4: group b5 — matching Figure 6 upper-left
+	if len(recs) != 2 {
+		t.Fatalf("star: %d records: %v", len(recs), recs)
+	}
+	if recs[0].Slots[1].Count() != 3 || recs[0].Slots[0].E.Ts != 1 {
+		t.Errorf("star rec 0: %v", recs[0])
+	}
+	if recs[1].Slots[1].Count() != 1 || recs[1].Slots[0].E.Ts != 4 {
+		t.Errorf("star rec 1: %v", recs[1])
+	}
+
+	// count = 2: sliding windows b2-b3 and b3-b5 for a1; none for a4
+	_, _, _, k2 := newPlan(query.ClosureCount, 2)
+	k2.Assemble(-1000, 6)
+	recs = drain(k2)
+	if len(recs) != 2 {
+		t.Fatalf("count=2: %d records: %v", len(recs), recs)
+	}
+	g0 := recs[0].Slots[1].Group
+	g1 := recs[1].Slots[1].Group
+	if g0[0].Ts != 2 || g0[1].Ts != 3 {
+		t.Errorf("first group: %v %v", g0[0].Ts, g0[1].Ts)
+	}
+	if g1[0].Ts != 3 || g1[1].Ts != 5 {
+		t.Errorf("second group: %v %v", g1[0].Ts, g1[1].Ts)
+	}
+}
+
+func TestKSeqPlusRequiresOne(t *testing.T) {
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	k := NewKSeq(aLeaf, bLeaf.Out(), 1, cLeaf, 3, 100, query.ClosurePlus, 0, nil, nil, true)
+	feed(aLeaf, mkStock(1, "A", 1))
+	feed(cLeaf, mkStock(2, "C", 1))
+	k.Assemble(-1000, 2)
+	if got := len(drain(k)); got != 0 {
+		t.Errorf("plus with empty group emitted: %d", got)
+	}
+	// star would emit
+	k2 := NewKSeq(aLeaf, bLeaf.Out(), 1, cLeaf, 3, 100, query.ClosureStar, 0, nil, nil, true)
+	feed(cLeaf, mkStock(3, "C", 1))
+	k2.Assemble(-1000, 3)
+	if got := len(drain(k2)); got != 1 {
+		t.Errorf("star with empty group not emitted: %d", got)
+	}
+}
+
+func TestKSeqGroupPredicate(t *testing.T) {
+	// sum(B.volume) > 250 filters groups
+	q := query.MustParse("PATTERN A;B+;C WHERE sum(B.volume) > 250 WITHIN 100")
+	gp, err := expr.CompilePred(q.Info.Preds[0].Cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	k := NewKSeq(aLeaf, bLeaf.Out(), 1, cLeaf, 3, 100, query.ClosurePlus, 0, nil, gp, true)
+	feed(aLeaf, mkStock(1, "A", 1))
+	vol := func(ts int64, v float64) *event.Event {
+		return event.NewStock(uint64(ts), ts, ts, "B", 1, v)
+	}
+	bLeaf.Insert(vol(2, 100))
+	bLeaf.Insert(vol(3, 100))
+	feed(cLeaf, mkStock(4, "C", 1))
+	k.Assemble(-1000, 4)
+	if got := len(drain(k)); got != 0 {
+		t.Errorf("sum=200 passed >250 filter: %d", got)
+	}
+	bLeaf.Insert(vol(5, 100))
+	feed(cLeaf, mkStock(6, "C", 1))
+	k.Assemble(-1000, 6)
+	recs := drain(k)
+	if len(recs) != 1 || recs[0].Slots[1].Count() != 3 {
+		t.Fatalf("sum=300 group missing: %v", recs)
+	}
+}
+
+func TestKSeqPerEventPredicate(t *testing.T) {
+	// only B events with price > A.price join the group
+	q := query.MustParse("PATTERN A;B*;C WHERE B.price > A.price WITHIN 100")
+	pe, err := expr.CompilePred(q.Info.Preds[0].Cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	k := NewKSeq(aLeaf, bLeaf.Out(), 1, cLeaf, 3, 100, query.ClosureStar, 0, pe, nil, true)
+	feed(aLeaf, mkStock(1, "A", 10))
+	feed(bLeaf, mkStock(2, "B", 5), mkStock(3, "B", 15), mkStock(4, "B", 20))
+	feed(cLeaf, mkStock(5, "C", 1))
+	k.Assemble(-1000, 5)
+	recs := drain(k)
+	if len(recs) != 1 || recs[0].Slots[1].Count() != 2 {
+		t.Fatalf("per-event filter: %v", recs)
+	}
+}
+
+func TestKSeqLeadingClosure(t *testing.T) {
+	// pattern B*;C — closure opens the pattern
+	bLeaf := NewLeaf(0, 2, nil)
+	cLeaf := NewLeaf(1, 2, nil)
+	k := NewKSeq(nil, bLeaf.Out(), 0, cLeaf, 2, 10, query.ClosureStar, 0, nil, nil, true)
+	feed(bLeaf, mkStock(1, "B", 1), mkStock(3, "B", 1))
+	feed(cLeaf, mkStock(5, "C", 1))
+	k.Assemble(-1000, 5)
+	recs := drain(k)
+	if len(recs) != 1 || recs[0].Slots[0].Count() != 2 {
+		t.Fatalf("leading closure: %v", recs)
+	}
+	if recs[0].Start != 1 || recs[0].End != 5 {
+		t.Errorf("interval [%d,%d]", recs[0].Start, recs[0].End)
+	}
+}
+
+func TestKSeqTrailingClosure(t *testing.T) {
+	// pattern A;B+ — closure ends the pattern, confirmed at window expiry
+	aLeaf := NewLeaf(0, 2, nil)
+	bLeaf := NewLeaf(1, 2, nil)
+	k := NewKSeq(aLeaf, bLeaf.Out(), 1, nil, 2, 10, query.ClosurePlus, 0, nil, nil, false)
+	feed(aLeaf, mkStock(1, "A", 1))
+	feed(bLeaf, mkStock(3, "B", 1), mkStock(5, "B", 1))
+	k.Assemble(-1000, 5)
+	if got := len(drain(k)); got != 0 {
+		t.Fatalf("trailing closure confirmed early: %d", got)
+	}
+	k.Assemble(-1000, 12) // window of a1 expired
+	recs := drain(k)
+	if len(recs) != 1 || recs[0].Slots[1].Count() != 2 {
+		t.Fatalf("trailing closure: %v", recs)
+	}
+	// B beyond the window of a1 must not be grouped
+	if recs[0].End != 5 {
+		t.Errorf("end = %d", recs[0].End)
+	}
+}
+
+func TestNegFilterMiddle(t *testing.T) {
+	// NEG on top for A;!B;C: SEQ(A,C) then filter
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	seq := NewSeq(aLeaf, cLeaf, 100, nil, nil, true)
+	neg := NewNegFilter(seq, []NegSpec{{
+		NegBufs: []*buffer.Buf{bLeaf.Out()},
+		Prev:    []int{0},
+		Next:    []int{2},
+	}}, 100)
+
+	feed(aLeaf, mkStock(1, "A", 1), mkStock(4, "A", 1))
+	feed(bLeaf, mkStock(2, "B", 1), mkStock(3, "B", 1))
+	feed(cLeaf, mkStock(5, "C", 1))
+	neg.Assemble(-1000, 5)
+	recs := drain(neg)
+	// same as Figure 5: only (a4, c5)
+	if len(recs) != 1 || recs[0].Slots[0].E.Ts != 4 {
+		t.Fatalf("neg filter: %v", recs)
+	}
+	scanned, emitted := neg.Stats()
+	if emitted != 1 || scanned == 0 {
+		t.Errorf("stats: %d/%d", scanned, emitted)
+	}
+}
+
+func TestNegFilterPredicate(t *testing.T) {
+	p := predOf(t, "PATTERN A;!B;C WHERE B.price > C.price WITHIN 100")
+	aLeaf := NewLeaf(0, 3, nil)
+	bLeaf := NewLeaf(1, 3, nil)
+	cLeaf := NewLeaf(2, 3, nil)
+	seq := NewSeq(aLeaf, cLeaf, 100, nil, nil, true)
+	neg := NewNegFilter(seq, []NegSpec{{
+		NegBufs: []*buffer.Buf{bLeaf.Out()},
+		Pred:    p,
+		Prev:    []int{0},
+		Next:    []int{2},
+	}}, 100)
+
+	feed(aLeaf, mkStock(1, "A", 1))
+	feed(bLeaf, mkStock(2, "B", 5)) // price 5 <= C's 10: does not negate
+	feed(cLeaf, mkStock(3, "C", 10))
+	neg.Assemble(-1000, 3)
+	if got := len(drain(neg)); got != 1 {
+		t.Fatalf("non-negating B dropped the match: %d", got)
+	}
+	feed(bLeaf, mkStock(4, "B", 50)) // price 50 > 10: negates
+	feed(cLeaf, mkStock(5, "C", 10))
+	neg.Assemble(-1000, 5)
+	recs := drain(neg)
+	// (a1,c5) is negated by b4
+	if len(recs) != 0 {
+		t.Fatalf("negating B ignored: %v", recs)
+	}
+}
+
+func TestNegFilterTrailing(t *testing.T) {
+	// pattern A;!B: filter confirms at window expiry
+	aLeaf := NewLeaf(0, 2, nil)
+	bLeaf := NewLeaf(1, 2, nil)
+	// child is a pass-through of A records: use a disj with one child
+	child := NewDisj([]Node{aLeaf}, false)
+	neg := NewNegFilter(child, []NegSpec{{
+		NegBufs: []*buffer.Buf{bLeaf.Out()},
+		Prev:    []int{0},
+	}}, 10)
+
+	feed(aLeaf, mkStock(1, "A", 1))
+	neg.Assemble(-1000, 5)
+	if got := len(drain(neg)); got != 0 {
+		t.Fatal("confirmed before expiry")
+	}
+	feed(bLeaf, mkStock(8, "B", 1))
+	neg.Assemble(-1000, 20)
+	if got := len(drain(neg)); got != 0 {
+		t.Fatal("negated record emitted")
+	}
+	feed(aLeaf, mkStock(30, "A", 1))
+	neg.Assemble(-1000, 50)
+	recs := drain(neg)
+	if len(recs) != 1 || recs[0].Slots[0].E.Ts != 30 {
+		t.Fatalf("clean record missing: %v", recs)
+	}
+}
+
+func TestNegFilterLeading(t *testing.T) {
+	// pattern !B;A: drop A when a B occurred within the window before it
+	aLeaf := NewLeaf(1, 2, nil)
+	bLeaf := NewLeaf(0, 2, nil)
+	child := NewDisj([]Node{aLeaf}, false)
+	neg := NewNegFilter(child, []NegSpec{{
+		NegBufs: []*buffer.Buf{bLeaf.Out()},
+		Next:    []int{1},
+	}}, 10)
+
+	feed(bLeaf, mkStock(1, "B", 1))
+	feed(aLeaf, mkStock(5, "A", 1)) // B@1 within window [A-10, A): negated
+	neg.Assemble(-1000, 5)
+	if got := len(drain(neg)); got != 0 {
+		t.Fatal("leading negation missed")
+	}
+	feed(aLeaf, mkStock(20, "A", 1)) // B@1 outside window: clean
+	neg.Assemble(-1000, 20)
+	if got := len(drain(neg)); got != 1 {
+		t.Fatal("clean record dropped")
+	}
+}
+
+func TestReorderer(t *testing.T) {
+	r := NewReorderer(5)
+	var released []*event.Event
+	push := func(ts int64) {
+		released = append(released, r.Push(mkStock(ts, "X", 1))...)
+	}
+	push(10)
+	push(8) // within bound
+	push(16)
+	// cutoff = 16-5 = 11: releases 8, 10
+	if len(released) != 2 || released[0].Ts != 8 || released[1].Ts != 10 {
+		t.Fatalf("released: %v", released)
+	}
+	// event older than last released is dropped
+	if out := r.Push(mkStock(7, "X", 1)); out != nil {
+		t.Errorf("stale event released: %v", out)
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+	rest := r.Flush()
+	if len(rest) != 1 || rest[0].Ts != 16 {
+		t.Fatalf("flush: %v", rest)
+	}
+	if out := r.Flush(); out != nil {
+		t.Errorf("second flush: %v", out)
+	}
+}
+
+func TestOutputEndTimeOrderInvariant(t *testing.T) {
+	// interleaved feeding across many rounds keeps all outputs end-ordered
+	a := NewLeaf(0, 3, nil)
+	b := NewLeaf(1, 3, nil)
+	c := NewLeaf(2, 3, nil)
+	s1 := NewSeq(a, b, 50, nil, nil, true)
+	s2 := NewSeq(s1, c, 50, nil, nil, true)
+
+	ts := int64(0)
+	var lastEnd int64 = -1
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 5; i++ {
+			ts++
+			switch ts % 3 {
+			case 0:
+				feed(a, mkStock(ts, "A", 1))
+			case 1:
+				feed(b, mkStock(ts, "B", 1))
+			default:
+				feed(c, mkStock(ts, "C", 1))
+			}
+		}
+		s2.Assemble(ts-60, ts)
+		for _, r := range drain(s2) {
+			if r.End < lastEnd {
+				t.Fatalf("end order violated: %d after %d", r.End, lastEnd)
+			}
+			lastEnd = r.End
+		}
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	if l := NewSeq(a, b, 1, nil, nil, true).Label(); l != "seq" {
+		t.Errorf("seq label = %q", l)
+	}
+	if l := NewConj(a, b, 1, nil).Label(); l != "conj" {
+		t.Errorf("conj label = %q", l)
+	}
+	if l := NewDisj([]Node{a, b}, true).Label(); l != "disj" {
+		t.Errorf("disj label = %q", l)
+	}
+	if l := NewNSeqLeft(nil, []int{1}, b, 1, nil, true).Label(); l == "" {
+		t.Error("empty nseq label")
+	}
+	if l := NewNSeqRight(a, nil, []int{1}, 1, nil, true).Label(); l == "" {
+		t.Error("empty nseq label")
+	}
+	if l := NewKSeq(a, buffer.New(), 1, b, 2, 1, query.ClosureCount, 3, nil, nil, true).Label(); l != "kseq(^3)" {
+		t.Errorf("kseq label = %q", l)
+	}
+	if l := NewNegFilter(a, nil, 1).Label(); l == "" {
+		t.Error("empty neg label")
+	}
+}
+
+func TestResetClearsOutput(t *testing.T) {
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, 100, nil, nil, false)
+	feed(a, mkStock(1, "A", 1))
+	feed(b, mkStock(2, "B", 1))
+	s.Assemble(-1000, 2)
+	if s.Out().Len() != 1 {
+		t.Fatal("no output")
+	}
+	s.Reset()
+	if s.Out().Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	// leaves unaffected
+	if a.Out().Len() != 1 {
+		t.Error("reset touched leaf")
+	}
+}

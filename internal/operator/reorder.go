@@ -1,0 +1,74 @@
+package operator
+
+import (
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Reorderer is the reordering stage §4.1 places after leaf buffers when
+// sources deliver events out of time order: it buffers events for a bounded
+// delay and releases them sorted by (timestamp, sequence). Events arriving
+// later than the bound (older than the last released timestamp) are
+// dropped and counted.
+type Reorderer struct {
+	maxDelay int64
+	pending  []*event.Event
+	released int64 // no event at or before this timestamp is pending
+	dropped  uint64
+}
+
+// NewReorderer creates a reorderer with the given maximum disorder bound in
+// ticks: an event may arrive at most maxDelay ticks after a later-stamped
+// event and still be re-sequenced.
+func NewReorderer(maxDelay int64) *Reorderer {
+	return &Reorderer{maxDelay: maxDelay, released: -1 << 62}
+}
+
+// Dropped returns the number of events discarded for arriving beyond the
+// disorder bound.
+func (r *Reorderer) Dropped() uint64 { return r.dropped }
+
+// Push adds an event and returns the events that are now safe to release
+// (all events with ts <= newest - maxDelay), in timestamp order.
+func (r *Reorderer) Push(e *event.Event) []*event.Event {
+	if e.Ts <= r.released {
+		r.dropped++
+		return nil
+	}
+	r.pending = append(r.pending, e)
+	newest := int64(-1 << 62)
+	for _, p := range r.pending {
+		if p.Ts > newest {
+			newest = p.Ts
+		}
+	}
+	cutoff := newest - r.maxDelay
+	return r.releaseUpTo(cutoff)
+}
+
+// Flush releases every pending event regardless of the disorder bound.
+func (r *Reorderer) Flush() []*event.Event {
+	return r.releaseUpTo(1<<62 - 1)
+}
+
+func (r *Reorderer) releaseUpTo(cutoff int64) []*event.Event {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(r.pending, func(i, j int) bool {
+		if r.pending[i].Ts != r.pending[j].Ts {
+			return r.pending[i].Ts < r.pending[j].Ts
+		}
+		return r.pending[i].Seq < r.pending[j].Seq
+	})
+	n := sort.Search(len(r.pending), func(i int) bool { return r.pending[i].Ts > cutoff })
+	if n == 0 {
+		return nil
+	}
+	out := make([]*event.Event, n)
+	copy(out, r.pending[:n])
+	r.pending = append(r.pending[:0], r.pending[n:]...)
+	r.released = out[n-1].Ts
+	return out
+}

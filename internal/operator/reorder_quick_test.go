@@ -1,0 +1,115 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+// Property: whatever the (bounded) input disorder, the reorderer's output
+// is sorted by (ts, seq) and, when disorder stays within the bound, no
+// event is dropped.
+func TestReordererProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := int64(1 + rng.Intn(20))
+		r := NewReorderer(bound)
+
+		// generate an in-order stream, then displace each event by less
+		// than the bound
+		n := 50 + rng.Intn(100)
+		type item struct {
+			ts  int64
+			seq uint64
+		}
+		items := make([]item, n)
+		ts := int64(0)
+		for i := range items {
+			ts += int64(rng.Intn(3))
+			items[i] = item{ts: ts, seq: uint64(i + 1)}
+		}
+		perturbed := append([]item{}, items...)
+		for i := 1; i < len(perturbed); i++ {
+			j := i - 1
+			if perturbed[j].ts > perturbed[i].ts-bound && rng.Intn(2) == 0 {
+				perturbed[j], perturbed[i] = perturbed[i], perturbed[j]
+			}
+		}
+
+		var out []*event.Event
+		for _, it := range perturbed {
+			e := event.NewStock(it.seq, it.ts, 0, "X", 1, 1)
+			out = append(out, r.Push(e)...)
+		}
+		out = append(out, r.Flush()...)
+
+		if len(out)+int(r.Dropped()) != n {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Ts > out[i].Ts {
+				return false
+			}
+			if out[i-1].Ts == out[i].Ts && out[i-1].Seq > out[i].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sequence outputs always satisfy left.End < right.Start, window
+// containment and end-time order, for arbitrary in-order inputs.
+func TestSeqOutputInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		window := int64(5 + rng.Intn(30))
+		a := NewLeaf(0, 2, nil)
+		b := NewLeaf(1, 2, nil)
+		s := NewSeq(a, b, window, nil, nil, true)
+
+		ts := int64(0)
+		var lastEnd int64 = -1 << 60
+		for round := 0; round < 20; round++ {
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				ts += int64(rng.Intn(3))
+				e := mkStock(ts, "X", 1)
+				if rng.Intn(2) == 0 {
+					a.Insert(e)
+				} else {
+					b.Insert(e)
+				}
+			}
+			s.Assemble(ts-2*window, ts)
+			out := s.Out()
+			for i := out.Cursor(); i < out.Len(); i++ {
+				r := out.At(i)
+				la, rb := r.Slots[0].E, r.Slots[1].E
+				if la == nil || rb == nil {
+					return false
+				}
+				if la.Ts >= rb.Ts {
+					return false // strict sequence order
+				}
+				if r.End-r.Start > window {
+					return false // window containment
+				}
+				if r.End < lastEnd {
+					return false // end-time order
+				}
+				lastEnd = r.End
+			}
+			out.Consume()
+			out.DropConsumedPrefix()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package operator
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Seq evaluates the sequence operator (Algorithm 1): for each new record Rr
+// of the right child, every left-child record Lr with Lr.End < Rr.Start is
+// a candidate; candidates passing the window, guard and value-predicate
+// checks are combined. Looping right in the outer loop keeps the output in
+// end-time order (§4.4.1).
+//
+// When an equality predicate joins the two sides, Seq probes a hash index
+// on the left buffer instead of scanning it (§5.2.2).
+type Seq struct {
+	left, right Node
+	out         *buffer.Buf
+	checks      combineChecks
+	dropRight   bool
+
+	hash *HashSpec // nil when hashing is off
+
+	pairsTried uint64
+	emitted    uint64
+}
+
+// HashSpec configures a hash-based equality lookup on a combining node:
+// the left child buffer is indexed by LeftKey; for every right record the
+// index is probed with RightKey (§5.2.2).
+type HashSpec struct {
+	LeftKey  func(*buffer.Record) event.Value
+	RightKey func(*buffer.Record) event.Value
+}
+
+// NewSeq builds a sequence node. pred may be nil (no value constraints).
+// dropRight controls whether the consumed right-buffer prefix is physically
+// dropped (static mode / internal children) or merely cursor-advanced
+// (adaptive mode leaves, §5.3).
+func NewSeq(left, right Node, window int64, guards []PairGuard, pred expr.Predicate, dropRight bool) *Seq {
+	return &Seq{
+		left: left, right: right,
+		out:       buffer.New(),
+		checks:    combineChecks{window: window, guards: guards, pred: pred},
+		dropRight: dropRight,
+	}
+}
+
+// UseHash enables hash-based equality lookup with the given key extractors
+// and builds the index on the left child's buffer.
+func (s *Seq) UseHash(spec HashSpec) {
+	s.hash = &spec
+	s.left.Out().BuildIndex(spec.LeftKey)
+}
+
+// Out returns the output buffer.
+func (s *Seq) Out() *buffer.Buf { return s.out }
+
+// Children returns the two children.
+func (s *Seq) Children() []Node { return []Node{s.left, s.right} }
+
+// Label names the node.
+func (s *Seq) Label() string {
+	if s.hash != nil {
+		return "seq[hash]"
+	}
+	return "seq"
+}
+
+// Stats returns the number of candidate pairs tried and records emitted
+// since creation (used to validate the cost model).
+func (s *Seq) Stats() (pairs, emitted uint64) { return s.pairsTried, s.emitted }
+
+// Reset clears the output buffer; child state is reset by the plan.
+func (s *Seq) Reset() { s.out.Clear() }
+
+// Assemble runs Algorithm 1 for one round.
+func (s *Seq) Assemble(eat, now int64) {
+	s.left.Assemble(eat, now)
+	s.right.Assemble(eat, now)
+
+	rbuf := s.right.Out()
+	lbuf := s.left.Out()
+	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
+		rr := rbuf.At(i)
+		if rr.Start < eat {
+			continue
+		}
+		if s.hash != nil {
+			key := s.hash.RightKey(rr)
+			if !key.IsNull() {
+				for _, lr := range lbuf.Index().Probe(key) {
+					s.tryCombine(lr, rr)
+				}
+			}
+			continue
+		}
+		// Scan left records with End < Rr.Start; the buffer is
+		// end-sorted, so the eligible records are exactly a prefix.
+		// Records ending before Rr.End - window cannot fit the window
+		// (Start <= End), so the scan starts there — the in-loop
+		// equivalent of Algorithm 1's EAT-based removal (step 4).
+		n := lbuf.LowerBoundEnd(rr.Start)
+		for j := lbuf.LowerBoundEnd(rr.End - s.checks.window); j < n; j++ {
+			s.tryCombine(lbuf.At(j), rr)
+		}
+	}
+	consume(rbuf, s.dropRight)
+}
+
+func (s *Seq) tryCombine(lr, rr *buffer.Record) {
+	// Temporal condition, explicit because hash probes bypass the prefix
+	// scan: left strictly precedes right.
+	if lr.End >= rr.Start {
+		return
+	}
+	s.pairsTried++
+	if !s.checks.ok(lr, rr) {
+		return
+	}
+	s.out.Append(buffer.Combine(lr, rr))
+	s.emitted++
+}
+
+var _ Node = (*Seq)(nil)

@@ -1,0 +1,168 @@
+// Package optimizer searches for the optimal physical tree plan of a query
+// (§5.2): algebraic rewrites are applied during analysis (query.Normalize,
+// §5.2.1), equality predicates become hash lookups when enabled (§5.2.2),
+// and operator order is chosen by the dynamic program of Algorithm 5
+// (§5.2.3), which exploits the optimal-substructure property of Theorem 5.1
+// and considers bushy plans.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Result is a chosen plan shape with its estimated cost.
+type Result struct {
+	Shape    *plan.Shape
+	Units    []*plan.Unit
+	Estimate cost.Estimate
+	// Negation reports the placement the search settled on.
+	Negation plan.NegPlacement
+}
+
+// Optimize returns the minimum-cost shape for q under the given statistics
+// (Algorithm 5). When the query contains negation, both the pushed-down
+// and on-top placements are costed and the cheaper one is returned.
+func Optimize(q *query.Query, st *cost.Stats, useHash bool) (*Result, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("optimizer: query not analyzed")
+	}
+
+	hasNeg := false
+	for _, t := range in.Terms {
+		if t.Kind == query.TermNeg {
+			hasNeg = true
+		}
+	}
+	if !hasNeg {
+		return optimizeWith(q, st, useHash, plan.NegAuto)
+	}
+
+	// cost both negation placements; pushdown may be ineligible.
+	top, topErr := optimizeWith(q, st, useHash, plan.NegTop)
+	push, pushErr := optimizeWith(q, st, useHash, plan.NegPushdown)
+	switch {
+	case topErr != nil && pushErr != nil:
+		return nil, topErr
+	case pushErr != nil:
+		return top, nil
+	case topErr != nil:
+		return push, nil
+	case push.Estimate.Cost <= top.Estimate.Cost:
+		return push, nil
+	default:
+		return top, nil
+	}
+}
+
+func optimizeWith(q *query.Query, st *cost.Stats, useHash bool, negMode plan.NegPlacement) (*Result, error) {
+	in := q.Info
+	units, topNegs, err := plan.Units(in, negMode)
+	if err != nil {
+		return nil, err
+	}
+	est := cost.NewEstimator(in, st, useHash)
+	shape, e := Search(est, units)
+	// add the top-filter cost for deferred negations
+	for range topNegs {
+		e = est.NegTopEstimate(e, est.DefaultNegSurvival())
+	}
+	return &Result{Shape: shape, Units: units, Estimate: e, Negation: negMode}, nil
+}
+
+// Search runs Algorithm 5 over the units: Min[s][i] is the minimal cost of
+// any tree covering the s units starting at i, ROOT[s][i] the split that
+// achieves it, and CARD[s][i] the (split-independent) output cardinality.
+// Complexity is O(n^3) in the number of units, bushy plans included.
+func Search(est *cost.Estimator, units []*plan.Unit) (*plan.Shape, cost.Estimate) {
+	n := len(units)
+	if n == 1 {
+		return plan.ShapeLeaf(0), est.UnitEstimate(units[0])
+	}
+
+	// classesRange[i][j] caches the classes covered by units [i, j).
+	classesRange := make([][][]int, n+1)
+	for i := 0; i <= n; i++ {
+		classesRange[i] = make([][]int, n+1)
+	}
+	var gather func(i, j int) []int
+	gather = func(i, j int) []int {
+		if classesRange[i][j] != nil {
+			return classesRange[i][j]
+		}
+		var out []int
+		for u := i; u < j; u++ {
+			out = append(out, units[u].Classes...)
+		}
+		classesRange[i][j] = out
+		return out
+	}
+
+	minCost := make([][]float64, n+1) // [size][start]
+	card := make([][]float64, n+1)
+	root := make([][]int, n+1)
+	for s := 0; s <= n; s++ {
+		minCost[s] = make([]float64, n)
+		card[s] = make([]float64, n)
+		root[s] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		e := est.UnitEstimate(units[i])
+		minCost[1][i], card[1][i] = e.Cost, e.Card
+	}
+
+	for s := 2; s <= n; s++ { // s is sub-tree size
+		for i := 0; i+s <= n; i++ { // i is sub-tree start
+			minCost[s][i] = math.Inf(1)
+			for r := i + 1; r < i+s; r++ { // r is root split position
+				lSize, rSize := r-i, i+s-r
+				l := cost.Estimate{Cost: minCost[lSize][i], Card: card[lSize][i]}
+				rr := cost.Estimate{Cost: minCost[rSize][r], Card: card[rSize][r]}
+				surv := 1.0
+				if units[r].Kind == plan.UnitNSeqLeft {
+					surv = est.DefaultNegSurvival()
+				}
+				e := est.SeqJoin(l, rr, gather(i, r), gather(r, i+s), surv)
+				if e.Cost < minCost[s][i] {
+					minCost[s][i] = e.Cost
+					card[s][i] = e.Card
+					root[s][i] = r
+				}
+			}
+		}
+	}
+
+	// reconstruct the optimal tree by walking ROOT in reverse
+	var rebuild func(i, s int) *plan.Shape
+	rebuild = func(i, s int) *plan.Shape {
+		if s == 1 {
+			return plan.ShapeLeaf(i)
+		}
+		r := root[s][i]
+		return plan.Join(rebuild(i, r-i), rebuild(r, s-(r-i)))
+	}
+	return rebuild(0, n), cost.Estimate{Cost: minCost[n][0], Card: card[n][0]}
+}
+
+// EstimateShape costs an explicit shape (for comparing fixed plans against
+// the optimum, Figures 9/11/13).
+func EstimateShape(q *query.Query, st *cost.Stats, useHash bool, negMode plan.NegPlacement, shape *plan.Shape) (cost.Estimate, error) {
+	units, topNegs, err := plan.Units(q.Info, negMode)
+	if err != nil {
+		return cost.Estimate{}, err
+	}
+	if err := shape.Validate(len(units)); err != nil {
+		return cost.Estimate{}, err
+	}
+	est := cost.NewEstimator(q.Info, st, useHash)
+	e := est.ShapeEstimate(units, shape)
+	for range topNegs {
+		e = est.NegTopEstimate(e, est.DefaultNegSurvival())
+	}
+	return e, nil
+}

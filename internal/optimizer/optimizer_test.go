@@ -1,0 +1,209 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func TestOptimizeTwoClasses(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	r, err := Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.String() != "(0 1)" {
+		t.Errorf("shape = %s", r.Shape)
+	}
+	if r.Estimate.Cost <= 0 {
+		t.Errorf("cost = %v", r.Estimate.Cost)
+	}
+}
+
+func TestOptimizePrefersRareFirst(t *testing.T) {
+	q := query.MustParse("PATTERN A;B;C WITHIN 200")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	st.Rate = []float64{0.001, 1, 1}
+	r, err := Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.String() != "((0 1) 2)" {
+		t.Errorf("rare-A shape = %s, want left-deep", r.Shape)
+	}
+	st.Rate = []float64{1, 1, 0.001}
+	r, err = Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.String() != "(0 (1 2))" {
+		t.Errorf("rare-C shape = %s, want right-deep", r.Shape)
+	}
+}
+
+func TestOptimizePrefersSelectivePredicateFirst(t *testing.T) {
+	// Query 6 regime 2: the Sun-Oracle predicate is very selective; the
+	// optimizer should evaluate it first (the "inner" plan)
+	q := query.MustParse(`PATTERN A;B;C;D
+		WHERE C.price > B.price AND C.price > D.price WITHIN 100`)
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	st.PredSel[0] = 1.0 / 50 // B-C predicate
+	st.PredSel[1] = 1
+	r, err := Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the B-C join must appear as a bottom-most pair
+	if s := r.Shape.String(); s != "(0 ((1 2) 3))" && s != "((0 (1 2)) 3)" {
+		t.Errorf("selective-predicate shape = %s", s)
+	}
+}
+
+// TestOptimalBeatsAllShapes is the optimality property: the DP's choice
+// never costs more than any explicitly enumerated shape.
+func TestOptimalBeatsAllShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := query.MustParse(`PATTERN A;B;C;D
+		WHERE A.price > B.price AND C.price > D.price AND A.volume = D.volume
+		WITHIN 100`)
+	var shapes []*plan.Shape
+	var build func(lo, hi int) []*plan.Shape
+	build = func(lo, hi int) []*plan.Shape {
+		if hi-lo == 1 {
+			return []*plan.Shape{plan.ShapeLeaf(lo)}
+		}
+		var out []*plan.Shape
+		for mid := lo + 1; mid < hi; mid++ {
+			for _, l := range build(lo, mid) {
+				for _, r := range build(mid, hi) {
+					out = append(out, plan.Join(l, r))
+				}
+			}
+		}
+		return out
+	}
+	shapes = build(0, 4)
+	if len(shapes) != 5 { // catalan(3)
+		t.Fatalf("enumerated %d shapes", len(shapes))
+	}
+	for trial := 0; trial < 50; trial++ {
+		st := cost.UniformStats(q.Info, q.Within, 1)
+		for i := range st.Rate {
+			st.Rate[i] = rng.Float64()*2 + 0.001
+		}
+		for i := range st.PredSel {
+			st.PredSel[i] = rng.Float64()*0.9 + 0.05
+		}
+		opt, err := Optimize(q, st, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shapes {
+			est, err := EstimateShape(q, st, false, plan.NegAuto, sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Estimate.Cost > est.Cost*(1+1e-9) {
+				t.Fatalf("trial %d: optimal %v costs more than shape %s (%v)",
+					trial, opt.Estimate.Cost, sh, est.Cost)
+			}
+		}
+	}
+}
+
+func TestOptimizeNegationPlacement(t *testing.T) {
+	q := query.MustParse("PATTERN A;!B;C WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	r, err := Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// push-down avoids materializing the unneeded combinations; with
+	// uniform stats it must win
+	if r.Negation != plan.NegPushdown {
+		t.Errorf("negation placement = %v, want pushdown", r.Negation)
+	}
+
+	// when push-down is ineligible, top must be chosen
+	q2 := query.MustParse("PATTERN A;!B;C WHERE B.price < A.price AND B.price < C.price WITHIN 100")
+	r2, err := Optimize(q2, cost.UniformStats(q2.Info, q2.Within, 1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Negation != plan.NegTop {
+		t.Errorf("ineligible pushdown: placement = %v", r2.Negation)
+	}
+}
+
+func TestSearchSingleUnit(t *testing.T) {
+	q := query.MustParse("PATTERN A&B WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	units, _, err := plan.Units(q.Info, plan.NegAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, est := Search(cost.NewEstimator(q.Info, st, false), units)
+	if shape.String() != "0" || est.Cost <= 0 {
+		t.Errorf("single-unit search: %s %v", shape, est)
+	}
+}
+
+func TestEstimateShapeValidates(t *testing.T) {
+	q := query.MustParse("PATTERN A;B;C WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	if _, err := EstimateShape(q, st, false, plan.NegAuto, plan.LeftDeep(2)); err == nil {
+		t.Error("wrong-arity shape accepted")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(&query.Query{}, nil, false); err == nil {
+		t.Error("unanalyzed query accepted")
+	}
+}
+
+// TestDPTimingLength20 asserts the §5.2.3 claim: an optimal plan for a
+// 20-class pattern is found in well under 10 ms.
+func TestDPTimingLength20(t *testing.T) {
+	pat := "C0"
+	for i := 1; i < 20; i++ {
+		pat += fmt.Sprintf(";C%d", i)
+	}
+	q := query.MustParse("PATTERN " + pat + " WITHIN 100")
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	start := time.Now()
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		if _, err := Optimize(q, st, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := time.Since(start) / reps
+	if per > 10*time.Millisecond {
+		t.Errorf("planning a 20-class pattern took %v, paper promises < 10ms", per)
+	}
+}
+
+func TestOptimizeBushyPlanFound(t *testing.T) {
+	// two tight pairs with a weak middle connection: the DP should find a
+	// bushy plan, which Selinger-style left-deep-only search cannot
+	q := query.MustParse(`PATTERN A;B;C;D
+		WHERE A.price > B.price AND C.price > D.price WITHIN 100`)
+	st := cost.UniformStats(q.Info, q.Within, 1)
+	st.Rate = []float64{1, 1, 1, 1}
+	st.PredSel[0] = 0.01
+	st.PredSel[1] = 0.01
+	r, err := Optimize(q, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shape.String() != "((0 1) (2 3))" {
+		t.Errorf("shape = %s, want bushy", r.Shape)
+	}
+}

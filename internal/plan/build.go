@@ -1,0 +1,639 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/operator"
+	"repro/internal/query"
+)
+
+// Options configures physical plan construction.
+type Options struct {
+	// Negation selects NSEQ push-down vs the NEG-on-top filter (§4.4.2).
+	Negation NegPlacement
+	// UseHash enables hash-based evaluation of equality predicates
+	// (§5.2.2).
+	UseHash bool
+	// Adaptive retains consumed leaf-buffer records so the engine can
+	// switch plans without losing state (§5.3). Static mode drops them
+	// (Algorithm 1 line 7).
+	Adaptive bool
+}
+
+// Plan is an executable physical tree plan.
+type Plan struct {
+	Root    operator.Node
+	Leaves  []*operator.Leaf // indexed by class
+	Buffers []*buffer.Buf    // every buffer of the plan (EAT eviction, memory)
+	Window  int64
+	Info    *query.Info
+	Units   []*Unit
+	Shape   *Shape
+	Opts    Options
+
+	// emitChecks are record-level conditions applied when draining the
+	// root (negation cases whose exact bounds need the full match span).
+	emitChecks []func(*buffer.Record) bool
+}
+
+// Build constructs a physical plan for q over the given shape. When leaves
+// is non-nil it must hold one leaf per class (shared with a previous plan,
+// for adaptive switching); otherwise fresh leaves are created.
+func Build(q *query.Query, shape *Shape, opts Options, leaves []*operator.Leaf) (*Plan, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("plan: query not analyzed")
+	}
+	units, topNegs, err := Units(in, opts.Negation)
+	if err != nil {
+		return nil, err
+	}
+	if shape == nil {
+		shape = LeftDeep(len(units))
+	}
+	if err := shape.Validate(len(units)); err != nil {
+		return nil, err
+	}
+
+	b := &builder{q: q, in: in, opts: opts, units: units, window: q.Within,
+		predPlaced: make([]bool, len(in.Preds))}
+	b.findDisjClasses()
+	if leaves != nil {
+		if len(leaves) != in.NumClasses() {
+			return nil, fmt.Errorf("plan: %d shared leaves for %d classes", len(leaves), in.NumClasses())
+		}
+		b.leaves = leaves
+	} else if err := b.makeLeaves(); err != nil {
+		return nil, err
+	}
+
+	root, err := b.buildShape(shape)
+	if err != nil {
+		return nil, err
+	}
+
+	// negation-on-top filter, if any terms were deferred
+	if len(topNegs) > 0 {
+		specs := make([]operator.NegSpec, 0, len(topNegs))
+		for _, tn := range topNegs {
+			pred, err := b.negPred(tn.NegClasses)
+			if err != nil {
+				return nil, err
+			}
+			bufs := make([]*buffer.Buf, len(tn.NegClasses))
+			for i, c := range tn.NegClasses {
+				bufs[i] = b.leaves[c].Out()
+			}
+			specs = append(specs, operator.NegSpec{
+				NegBufs: bufs, Pred: pred, Prev: tn.Prev, Next: tn.Next,
+			})
+		}
+		root = operator.NewNegFilter(root, specs, q.Within)
+	}
+
+	// unplaced multi-class predicates are a programming error in the
+	// planner (single-class predicates live in leaf filters, negation
+	// predicates inside NSEQ/NEG nodes) — except predicates between two
+	// alternatives of one disjunction, which can never be co-bound and
+	// pass vacuously under the disjunction-tolerant rule
+	for i, placed := range b.predPlaced {
+		pi := in.Preds[i]
+		if !placed && !pi.Single() && !b.isNegPred(pi) && !b.withinOneDisj(pi) {
+			return nil, fmt.Errorf("plan: predicate %s was not placed", pi)
+		}
+	}
+
+	p := &Plan{
+		Root: root, Leaves: b.leaves, Window: q.Within, Info: in,
+		Units: units, Shape: shape, Opts: opts, emitChecks: b.emitChecks,
+	}
+	p.collectBuffers()
+	return p, nil
+}
+
+// collectBuffers walks the tree gathering every buffer (plus negation leaf
+// buffers referenced by NSEQ/NEG nodes, which are leaves and already
+// counted).
+func (p *Plan) collectBuffers() {
+	seen := map[*buffer.Buf]bool{}
+	var walk func(n operator.Node)
+	walk = func(n operator.Node) {
+		if n == nil || seen[n.Out()] {
+			return
+		}
+		seen[n.Out()] = true
+		p.Buffers = append(p.Buffers, n.Out())
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	for _, l := range p.Leaves {
+		if !seen[l.Out()] {
+			seen[l.Out()] = true
+			p.Buffers = append(p.Buffers, l.Out())
+		}
+	}
+}
+
+// EmitOK applies the emission-time negation checks to a root record.
+func (p *Plan) EmitOK(r *buffer.Record) bool {
+	for _, chk := range p.emitChecks {
+		if !chk(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Explain renders the operator tree, one node per line.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	var walk func(n operator.Node, depth int)
+	walk = func(n operator.Node, depth int) {
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), n.Label())
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// builder
+// ---------------------------------------------------------------------------
+
+type builder struct {
+	q           *query.Query
+	in          *query.Info
+	opts        Options
+	units       []*Unit
+	window      int64
+	leaves      []*operator.Leaf
+	predPlaced  []bool
+	disjClasses map[int]bool
+	emitChecks  []func(*buffer.Record) bool
+}
+
+// findDisjClasses records which classes belong to disjunction units: a
+// predicate referencing them passes when the class is unbound (the match
+// came through the other alternative).
+func (b *builder) findDisjClasses() {
+	b.disjClasses = map[int]bool{}
+	for _, u := range b.units {
+		if u.Kind == UnitDisj {
+			for _, c := range u.Classes {
+				b.disjClasses[c] = true
+			}
+		}
+	}
+}
+
+// makeLeaves creates one leaf per class with its single-class predicates
+// pushed down.
+func (b *builder) makeLeaves() error {
+	n := b.in.NumClasses()
+	b.leaves = make([]*operator.Leaf, n)
+	for c := 0; c < n; c++ {
+		var cmps []*query.Cmp
+		for _, pi := range b.in.Preds {
+			if pi.Single() && pi.Classes[0] == c && !pi.HasAgg {
+				cmps = append(cmps, pi.Cmp)
+			}
+		}
+		filter, err := expr.CompilePreds(cmps)
+		if err != nil {
+			return err
+		}
+		if len(cmps) == 0 {
+			filter = nil
+		}
+		b.leaves[c] = operator.NewLeaf(c, n, filter)
+	}
+	return nil
+}
+
+// withinOneDisj reports whether the predicate references two or more
+// alternatives of the same disjunction term. Such alternatives are never
+// bound together, so the predicate is vacuously satisfied (ref semantics).
+func (b *builder) withinOneDisj(pi *query.PredInfo) bool {
+	for _, t := range b.in.Terms {
+		if t.Kind != query.TermDisj {
+			continue
+		}
+		set := toSet(t.Classes)
+		n := 0
+		for _, c := range pi.Classes {
+			if set[c] {
+				n++
+			}
+		}
+		if n >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// isNegPred reports whether the predicate references a negated class (it is
+// evaluated inside an NSEQ or NEG filter rather than a SEQ node).
+func (b *builder) isNegPred(pi *query.PredInfo) bool {
+	for _, c := range pi.Classes {
+		if b.in.Classes[c].Negated {
+			return true
+		}
+	}
+	return false
+}
+
+// negPred compiles the conjunction of multi-class predicates touching the
+// given negation classes.
+func (b *builder) negPred(negClasses []int) (expr.Predicate, error) {
+	negSet := map[int]bool{}
+	for _, c := range negClasses {
+		negSet[c] = true
+	}
+	var cmps []*query.Cmp
+	for _, pi := range b.in.Preds {
+		if pi.Single() || pi.HasAgg {
+			continue
+		}
+		for _, c := range pi.Classes {
+			if negSet[c] {
+				cmps = append(cmps, pi.Cmp)
+				break
+			}
+		}
+	}
+	if len(cmps) == 0 {
+		return nil, nil
+	}
+	return expr.CompilePreds(cmps)
+}
+
+// buildShape recursively constructs the operator tree for a shape node.
+func (b *builder) buildShape(s *Shape) (operator.Node, error) {
+	if s.Unit >= 0 {
+		return b.buildUnit(b.units[s.Unit])
+	}
+	ln, err := b.buildShape(s.L)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := b.buildShape(s.R)
+	if err != nil {
+		return nil, err
+	}
+
+	leftCls := b.coveredClasses(s.L)
+	rightCls := b.coveredClasses(s.R)
+	cover := append(append([]int{}, leftCls...), rightCls...)
+
+	preds, hashJoin, err := b.nodePreds(cover, leftCls, rightCls, true)
+	if err != nil {
+		return nil, err
+	}
+	var guards []operator.PairGuard
+	// middle-negation guard: when the right subtree's leftmost unit is an
+	// NSEQ-left block, restrict left records to those ending at or after
+	// the negating event (Figure 4's extra time constraint).
+	if u := b.units[s.R.Leaves()[0]]; u.Kind == UnitNSeqLeft {
+		guards = append(guards, negLeftGuard(u.NegClasses))
+	}
+
+	// Consumed right-side prefixes may be dropped unless the right child is
+	// a leaf buffer that adaptive mode must retain for plan switching.
+	dropRight := !b.opts.Adaptive || s.R.Unit < 0 || b.units[s.R.Unit].Kind != UnitSimple
+	seq := operator.NewSeq(ln, rn, b.window, guards, preds, dropRight)
+	if hashJoin != nil {
+		seq.UseHash(*hashJoin)
+	}
+	return seq, nil
+}
+
+// negLeftGuard passes a candidate (l, r) when r's negating event (if any)
+// occurred no later than l's end: a of A may combine with (b, c) only when
+// a.End >= b.ts.
+func negLeftGuard(negClasses []int) operator.PairGuard {
+	return func(l, r *buffer.Record) bool {
+		for _, nc := range negClasses {
+			if bEv := r.Slots[nc].E; bEv != nil && l.End < bEv.Ts {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// coveredClasses returns the classes covered by a shape subtree, sorted.
+func (b *builder) coveredClasses(s *Shape) []int {
+	var out []int
+	for _, ui := range s.Leaves() {
+		out = append(out, b.units[ui].Classes...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// nodePreds collects the multi-class predicates to evaluate at a sequence
+// node covering exactly `cover`: predicates whose classes span both
+// children and are fully contained in the cover, excluding negation and
+// aggregate predicates (handled inside units). When hashing is enabled and
+// an equality predicate joins the two children, it is returned as a
+// HashSpec instead (only the first such predicate; further ones remain
+// ordinary predicates).
+func (b *builder) nodePreds(cover, leftCls, rightCls []int, allowHash bool) (expr.Predicate, *operator.HashSpec, error) {
+	coverSet := toSet(cover)
+	leftSet := toSet(leftCls)
+	rightSet := toSet(rightCls)
+
+	var cmps []*query.Cmp
+	var disjCmps []*query.Cmp // predicates touching disjunction alternatives
+	var disjRefs [][]int
+	var hash *operator.HashSpec
+	for i, pi := range b.in.Preds {
+		if pi.Single() || pi.HasAgg || b.isNegPred(pi) || b.predPlaced[i] {
+			continue
+		}
+		inCover, spansL, spansR, touchesDisj := true, false, false, false
+		for _, c := range pi.Classes {
+			if !coverSet[c] {
+				inCover = false
+			}
+			if leftSet[c] {
+				spansL = true
+			}
+			if rightSet[c] {
+				spansR = true
+			}
+			if b.disjClasses[c] {
+				touchesDisj = true
+			}
+		}
+		if !inCover || !spansL || !spansR {
+			continue
+		}
+		b.predPlaced[i] = true
+		if touchesDisj {
+			disjCmps = append(disjCmps, pi.Cmp)
+			disjRefs = append(disjRefs, pi.Classes)
+			continue
+		}
+		if allowHash && b.opts.UseHash && hash == nil && pi.EqJoin != nil {
+			if spec, ok := b.hashSpecFor(pi.EqJoin, leftSet, rightSet); ok {
+				hash = &spec
+				continue
+			}
+		}
+		cmps = append(cmps, pi.Cmp)
+	}
+	var preds []expr.Predicate
+	if len(cmps) > 0 {
+		p, err := expr.CompilePreds(cmps)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds = append(preds, p)
+	}
+	for k, c := range disjCmps {
+		p, err := expr.CompilePred(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds = append(preds, disjTolerant(p, disjRefs[k], b.disjClasses))
+	}
+	switch len(preds) {
+	case 0:
+		return nil, hash, nil
+	case 1:
+		return preds[0], hash, nil
+	default:
+		all := preds
+		return func(env expr.Env) bool {
+			for _, p := range all {
+				if !p(env) {
+					return false
+				}
+			}
+			return true
+		}, hash, nil
+	}
+}
+
+// disjTolerant wraps a predicate that references disjunction alternatives:
+// when a referenced alternative is unbound (the match came through another
+// branch of the disjunction), the predicate is vacuously satisfied.
+func disjTolerant(p expr.Predicate, classes []int, disjClasses map[int]bool) expr.Predicate {
+	var watch []int
+	for _, c := range classes {
+		if disjClasses[c] {
+			watch = append(watch, c)
+		}
+	}
+	return func(env expr.Env) bool {
+		for _, c := range watch {
+			if env.Event(c) == nil {
+				return true
+			}
+		}
+		return p(env)
+	}
+}
+
+// hashSpecFor orients an equality join so the build side is in the left
+// subtree and the probe side in the right (Algorithm 1 loops right outer,
+// so "the hash table is built on A.f", §5.2.2).
+func (b *builder) hashSpecFor(eq *query.EqJoin, leftSet, rightSet map[int]bool) (operator.HashSpec, bool) {
+	var lc, rc int
+	var la, ra string
+	switch {
+	case leftSet[eq.ClassL] && rightSet[eq.ClassR]:
+		lc, la, rc, ra = eq.ClassL, eq.AttrL, eq.ClassR, eq.AttrR
+	case leftSet[eq.ClassR] && rightSet[eq.ClassL]:
+		lc, la, rc, ra = eq.ClassR, eq.AttrR, eq.ClassL, eq.AttrL
+	default:
+		return operator.HashSpec{}, false
+	}
+	lkey, rkey := expr.CompileKey(la), expr.CompileKey(ra)
+	return operator.HashSpec{
+		LeftKey: func(r *buffer.Record) event.Value {
+			if ev := r.Slots[lc].E; ev != nil {
+				return lkey(ev)
+			}
+			return event.Value{}
+		},
+		RightKey: func(r *buffer.Record) event.Value {
+			if ev := r.Slots[rc].E; ev != nil {
+				return rkey(ev)
+			}
+			return event.Value{}
+		},
+	}, true
+}
+
+// buildUnit constructs the operator subtree for one unit.
+func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
+	switch u.Kind {
+	case UnitSimple:
+		return b.leaves[u.Classes[0]], nil
+
+	case UnitConj:
+		// left-deep chain of CONJ nodes; predicates internal to the
+		// conjunction attach at the lowest covering node.
+		var node operator.Node = b.leaves[u.Classes[0]]
+		built := []int{u.Classes[0]}
+		for _, c := range u.Classes[1:] {
+			preds, _, err := b.nodePreds(append(append([]int{}, built...), c), built, []int{c}, false)
+			if err != nil {
+				return nil, err
+			}
+			node = operator.NewConj(node, b.leaves[c], b.window, preds)
+			built = append(built, c)
+		}
+		return node, nil
+
+	case UnitDisj:
+		children := make([]operator.Node, len(u.Classes))
+		for i, c := range u.Classes {
+			children[i] = b.leaves[c]
+		}
+		return operator.NewDisj(children, !b.opts.Adaptive), nil
+
+	case UnitKSeq:
+		return b.buildKSeq(u)
+
+	case UnitNSeqLeft:
+		pred, err := b.negPred(u.NegClasses)
+		if err != nil {
+			return nil, err
+		}
+		bufs := make([]*buffer.Buf, len(u.NegClasses))
+		for i, c := range u.NegClasses {
+			bufs[i] = b.leaves[c].Out()
+		}
+		ns := operator.NewNSeqLeft(bufs, u.NegClasses, b.leaves[u.Anchor], b.window, pred, !b.opts.Adaptive)
+		// a leading negation (no classes before it) is checked at
+		// emission: the negating event must fall outside the window
+		// preceding the match end.
+		if minClass(u.NegClasses) == 0 {
+			negCls := append([]int{}, u.NegClasses...)
+			w := b.window
+			b.emitChecks = append(b.emitChecks, func(r *buffer.Record) bool {
+				for _, nc := range negCls {
+					if bEv := r.Slots[nc].E; bEv != nil && bEv.Ts >= r.End-w {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		return ns, nil
+
+	case UnitNSeqRight:
+		pred, err := b.negPred(u.NegClasses)
+		if err != nil {
+			return nil, err
+		}
+		bufs := make([]*buffer.Buf, len(u.NegClasses))
+		for i, c := range u.NegClasses {
+			bufs[i] = b.leaves[c].Out()
+		}
+		ns := operator.NewNSeqRight(b.leaves[u.Anchor], bufs, u.NegClasses, b.window, pred, !b.opts.Adaptive)
+		negCls := append([]int{}, u.NegClasses...)
+		w := b.window
+		b.emitChecks = append(b.emitChecks, func(r *buffer.Record) bool {
+			for _, nc := range negCls {
+				if bEv := r.Slots[nc].E; bEv != nil && bEv.Ts <= r.Start+w {
+					return false
+				}
+			}
+			return true
+		})
+		return ns, nil
+	}
+	return nil, fmt.Errorf("plan: unknown unit kind %v", u.Kind)
+}
+
+// buildKSeq assembles the trinary KSEQ node and splits its predicates into
+// per-event and group parts.
+func (b *builder) buildKSeq(u *Unit) (operator.Node, error) {
+	unitSet := toSet(u.Classes)
+	var perEvent, group []*query.Cmp
+	for i, pi := range b.in.Preds {
+		if pi.Single() && !pi.HasAgg {
+			continue // pushed to leaves
+		}
+		inUnit := true
+		for _, c := range pi.Classes {
+			if !unitSet[c] {
+				inUnit = false
+			}
+		}
+		touchesMid := false
+		for _, c := range pi.Classes {
+			if c == u.MidClass {
+				touchesMid = true
+			}
+		}
+		if !inUnit {
+			if touchesMid && !pi.HasAgg {
+				return nil, fmt.Errorf("plan: predicate %s references closure class %s and classes outside its KSEQ block", pi, b.in.Classes[u.MidClass].Alias)
+			}
+			continue
+		}
+		b.predPlaced[i] = true
+		switch {
+		case pi.HasAgg:
+			group = append(group, pi.Cmp)
+		case touchesMid:
+			perEvent = append(perEvent, pi.Cmp)
+		default: // start-end predicate: checked on the assembled record
+			group = append(group, pi.Cmp)
+		}
+	}
+	var pe, gp expr.Predicate
+	var err error
+	if len(perEvent) > 0 {
+		if pe, err = expr.CompilePreds(perEvent); err != nil {
+			return nil, err
+		}
+	}
+	if len(group) > 0 {
+		if gp, err = expr.CompilePreds(group); err != nil {
+			return nil, err
+		}
+	}
+	var start, end operator.Node
+	if u.StartClass >= 0 {
+		start = b.leaves[u.StartClass]
+	}
+	if u.EndClass >= 0 {
+		end = b.leaves[u.EndClass]
+	}
+	return operator.NewKSeq(start, b.leaves[u.MidClass].Out(), u.MidClass, end,
+		b.in.NumClasses(), b.window, u.Closure, u.Count, pe, gp, !b.opts.Adaptive), nil
+}
+
+func toSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func minClass(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

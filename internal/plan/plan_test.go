@@ -1,0 +1,288 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func unitsOf(t *testing.T, src string, mode NegPlacement) ([]*Unit, []TopNeg) {
+	t.Helper()
+	q := query.MustParse(src)
+	units, negs, err := Units(q.Info, mode)
+	if err != nil {
+		t.Fatalf("Units(%q): %v", src, err)
+	}
+	return units, negs
+}
+
+func TestUnitsSimpleSequence(t *testing.T) {
+	units, negs := unitsOf(t, "PATTERN A;B;C WITHIN 10", NegAuto)
+	if len(units) != 3 || len(negs) != 0 {
+		t.Fatalf("units=%v negs=%v", units, negs)
+	}
+	for i, u := range units {
+		if u.Kind != UnitSimple || u.Classes[0] != i {
+			t.Errorf("unit %d = %v", i, u)
+		}
+	}
+}
+
+func TestUnitsNegationPushdown(t *testing.T) {
+	units, negs := unitsOf(t, "PATTERN A;!B;C WITHIN 10", NegAuto)
+	if len(units) != 2 || len(negs) != 0 {
+		t.Fatalf("units=%v negs=%v", units, negs)
+	}
+	if units[1].Kind != UnitNSeqLeft || units[1].Anchor != 2 {
+		t.Errorf("nseq unit = %+v", units[1])
+	}
+	if len(units[1].NegClasses) != 1 || units[1].NegClasses[0] != 1 {
+		t.Errorf("neg classes = %v", units[1].NegClasses)
+	}
+}
+
+func TestUnitsNegationTrailing(t *testing.T) {
+	units, _ := unitsOf(t, "PATTERN A;B;!C WITHIN 10", NegAuto)
+	if len(units) != 2 {
+		t.Fatalf("units = %v", units)
+	}
+	if units[1].Kind != UnitNSeqRight || units[1].Anchor != 1 {
+		t.Errorf("trailing unit = %+v", units[1])
+	}
+}
+
+func TestUnitsNegationTopForced(t *testing.T) {
+	units, negs := unitsOf(t, "PATTERN A;!B;C WITHIN 10", NegTop)
+	if len(units) != 2 || len(negs) != 1 {
+		t.Fatalf("units=%v negs=%v", units, negs)
+	}
+	if negs[0].NegClasses[0] != 1 || negs[0].Prev[0] != 0 || negs[0].Next[0] != 2 {
+		t.Errorf("topneg = %+v", negs[0])
+	}
+}
+
+func TestUnitsNegationPredOnPreceding(t *testing.T) {
+	// predicate between negation and its preceding class: push-down is
+	// ineligible (Algorithm 2 requires predicates on one side only, and
+	// the left form needs them on the following class)
+	q := query.MustParse("PATTERN A;!B;C WHERE B.price < A.price WITHIN 10")
+	_, negs, err := Units(q.Info, NegAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(negs) != 1 {
+		t.Fatalf("expected NEG-top fallback, negs = %v", negs)
+	}
+	if _, _, err := Units(q.Info, NegPushdown); err == nil {
+		t.Error("forced pushdown should fail")
+	}
+}
+
+func TestUnitsNegationPredBothSides(t *testing.T) {
+	q := query.MustParse("PATTERN A;!B;C WHERE B.price < A.price AND B.price < C.price WITHIN 10")
+	_, negs, err := Units(q.Info, NegAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(negs) != 1 {
+		t.Error("predicates over two non-negation classes must fall back to NEG-top (§4.4.2)")
+	}
+}
+
+func TestUnitsKleeneFusing(t *testing.T) {
+	units, _ := unitsOf(t, "PATTERN A;B*;C;D WITHIN 10", NegAuto)
+	if len(units) != 2 {
+		t.Fatalf("units = %v", units)
+	}
+	k := units[0]
+	if k.Kind != UnitKSeq || k.StartClass != 0 || k.MidClass != 1 || k.EndClass != 2 {
+		t.Errorf("kseq unit = %+v", k)
+	}
+	if units[1].Kind != UnitSimple || units[1].Classes[0] != 3 {
+		t.Errorf("tail unit = %+v", units[1])
+	}
+}
+
+func TestUnitsKleeneBoundary(t *testing.T) {
+	units, _ := unitsOf(t, "PATTERN B*;C WITHIN 10", NegAuto)
+	if len(units) != 1 || units[0].StartClass != -1 || units[0].EndClass != 1 {
+		t.Fatalf("leading closure units = %+v", units[0])
+	}
+	units, _ = unitsOf(t, "PATTERN A;B+ WITHIN 10", NegAuto)
+	if len(units) != 1 || units[0].StartClass != 0 || units[0].EndClass != -1 {
+		t.Fatalf("trailing closure units = %+v", units[0])
+	}
+}
+
+func TestUnitsConjDisj(t *testing.T) {
+	units, _ := unitsOf(t, "PATTERN (A&B);(C|D);E WITHIN 10", NegAuto)
+	if len(units) != 3 {
+		t.Fatalf("units = %v", units)
+	}
+	if units[0].Kind != UnitConj || units[1].Kind != UnitDisj || units[2].Kind != UnitSimple {
+		t.Errorf("kinds: %v %v %v", units[0].Kind, units[1].Kind, units[2].Kind)
+	}
+}
+
+func TestNonNegClasses(t *testing.T) {
+	units, _ := unitsOf(t, "PATTERN A;!B;C WITHIN 10", NegAuto)
+	nn := units[1].NonNegClasses()
+	if len(nn) != 1 || nn[0] != 2 {
+		t.Errorf("NonNegClasses = %v", nn)
+	}
+	simple := &Unit{Kind: UnitSimple, Classes: []int{5}}
+	if got := simple.NonNegClasses(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("simple NonNegClasses = %v", got)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	ld := LeftDeep(4)
+	if got := ld.String(); got != "(((0 1) 2) 3)" {
+		t.Errorf("LeftDeep = %q", got)
+	}
+	rd := RightDeep(4)
+	if got := rd.String(); got != "(0 (1 (2 3)))" {
+		t.Errorf("RightDeep = %q", got)
+	}
+	if err := ld.Validate(4); err != nil {
+		t.Error(err)
+	}
+	if err := ld.Validate(3); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	bad := Join(ShapeLeaf(1), ShapeLeaf(0))
+	if err := bad.Validate(2); err == nil {
+		t.Error("out-of-order shape accepted")
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for _, src := range []string{"0", "(0 1)", "(((0 1) 2) 3)", "((0 1) (2 3))", "(0 ((1 2) 3))"} {
+		s, err := ParseShape(src)
+		if err != nil {
+			t.Errorf("ParseShape(%q): %v", src, err)
+			continue
+		}
+		if s.String() != src {
+			t.Errorf("round trip: %q -> %q", src, s.String())
+		}
+	}
+	for _, src := range []string{"", "(0", "(0 1))", "(x 1)", "(0 1) 2"} {
+		if _, err := ParseShape(src); err == nil {
+			t.Errorf("ParseShape(%q): expected error", src)
+		}
+	}
+}
+
+func TestBuildShapesAndExplain(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B;C;D
+		WHERE A.name='A' AND B.name='B' AND C.name='C' AND D.name='D'
+		AND A.price > D.price WITHIN 10`)
+	for _, src := range []string{"(((0 1) 2) 3)", "(0 (1 (2 3)))", "((0 1) (2 3))", "(0 ((1 2) 3))"} {
+		sh, err := ParseShape(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(q, sh, Options{}, nil)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", src, err)
+		}
+		if len(p.Leaves) != 4 {
+			t.Errorf("%s: leaves = %d", src, len(p.Leaves))
+		}
+		if len(p.Buffers) == 0 {
+			t.Errorf("%s: no buffers", src)
+		}
+		exp := p.Explain()
+		if strings.Count(exp, "seq") != 3 || strings.Count(exp, "leaf") != 4 {
+			t.Errorf("%s: explain:\n%s", src, exp)
+		}
+	}
+}
+
+func TestBuildHashPlacement(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B;C WHERE A.name = C.name WITHIN 10`)
+	p, err := Build(q, LeftDeep(3), Options{UseHash: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Explain(), "seq[hash]") {
+		t.Errorf("hash join not placed:\n%s", p.Explain())
+	}
+	// without the option, no hash node
+	p2, err := Build(q, LeftDeep(3), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p2.Explain(), "hash") {
+		t.Error("hash placed although disabled")
+	}
+}
+
+func TestBuildNegationPlans(t *testing.T) {
+	q := query.MustParse(`PATTERN A;!B;C WITHIN 10`)
+	push, err := Build(q, nil, Options{Negation: NegPushdown}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(push.Explain(), "nseq") {
+		t.Errorf("pushdown plan:\n%s", push.Explain())
+	}
+	top, err := Build(q, nil, Options{Negation: NegTop}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(top.Explain(), "neg-top") {
+		t.Errorf("top plan:\n%s", top.Explain())
+	}
+}
+
+func TestBuildSharedLeaves(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B;C WITHIN 10`)
+	p1, err := Build(q, LeftDeep(3), Options{Adaptive: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(q, RightDeep(3), Options{Adaptive: true}, p1.Leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Leaves {
+		if p1.Leaves[i] != p2.Leaves[i] {
+			t.Errorf("leaf %d not shared", i)
+		}
+	}
+	// wrong arity rejected
+	if _, err := Build(q, LeftDeep(3), Options{}, p1.Leaves[:2]); err == nil {
+		t.Error("mismatched shared leaves accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	q := query.MustParse(`PATTERN A;B;C WITHIN 10`)
+	bad := Join(ShapeLeaf(0), ShapeLeaf(2))
+	if _, err := Build(q, bad, Options{}, nil); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := Build(&query.Query{}, nil, Options{}, nil); err == nil {
+		t.Error("unanalyzed query accepted")
+	}
+	// Kleene per-event predicate reaching outside its block
+	q2 := query.MustParse(`PATTERN A;B;C*;D WHERE C.price > A.price WITHIN 10`)
+	if _, err := Build(q2, nil, Options{}, nil); err == nil {
+		t.Error("out-of-block closure predicate accepted")
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	for k, want := range map[UnitKind]string{
+		UnitSimple: "class", UnitConj: "conj", UnitDisj: "disj",
+		UnitKSeq: "kseq", UnitNSeqLeft: "nseq<", UnitNSeqRight: "nseq>",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

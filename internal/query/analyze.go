@@ -1,0 +1,386 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermKind classifies one element of the normalized top-level sequence.
+type TermKind int
+
+const (
+	// TermClass is a plain event class.
+	TermClass TermKind = iota
+	// TermNeg is a negation over one or more classes (!B or !(B|C)).
+	TermNeg
+	// TermKleene is a Kleene closure over one class.
+	TermKleene
+	// TermConj is a conjunction of two or more classes (concurrent events).
+	TermConj
+	// TermDisj is a disjunction of two or more classes.
+	TermDisj
+)
+
+func (k TermKind) String() string {
+	return [...]string{"class", "neg", "kleene", "conj", "disj"}[k]
+}
+
+// Term is one element of the pattern in normal form: a top-level sequence
+// whose items are classes, negation sets, Kleene closures, conjunctions or
+// disjunctions of classes. This is the shape every query in the paper has.
+type Term struct {
+	Kind    TermKind
+	Classes []int // class indexes; one for TermClass/TermKleene
+	// Closure fields, valid when Kind == TermKleene.
+	Closure ClosureKind
+	Count   int
+}
+
+// ClassInfo describes one event class (alias) of the query.
+type ClassInfo struct {
+	Idx     int
+	Alias   string
+	Negated bool
+	Closure ClosureKind
+	Count   int
+	Term    int // index of the term the class belongs to
+}
+
+// PredInfo classifies one WHERE predicate for the planner.
+type PredInfo struct {
+	Cmp     *Cmp
+	Classes []int // sorted distinct referenced class indexes
+	HasAgg  bool
+	// EqJoin is non-nil when the predicate has the hashable form
+	// A.f = B.g with A and B distinct, non-negated, non-closure classes.
+	EqJoin *EqJoin
+}
+
+// EqJoin describes an equality predicate usable as a hash lookup (§5.2.2).
+type EqJoin struct {
+	ClassL, ClassR int
+	AttrL, AttrR   string
+}
+
+func (p *PredInfo) String() string { return p.Cmp.String() }
+
+// Single reports whether the predicate touches exactly one class.
+func (p *PredInfo) Single() bool { return len(p.Classes) == 1 }
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Classes []*ClassInfo
+	ByAlias map[string]int
+	// Terms is the pattern in sequence normal form. For a top-level
+	// conjunction or disjunction (pattern "A&B" / "A|B"), Terms has one
+	// element of the corresponding kind.
+	Terms []Term
+	Preds []*PredInfo
+	// FinalClasses are the classes whose arrival can complete a match;
+	// assembly rounds trigger on them (§4.3).
+	FinalClasses []int
+}
+
+// NumClasses returns the number of event classes (slot count).
+func (in *Info) NumClasses() int { return len(in.Classes) }
+
+// Class returns the class info for idx.
+func (in *Info) Class(idx int) *ClassInfo { return in.Classes[idx] }
+
+// Analyze validates q and fills q.Info. The pattern is normalized first.
+func Analyze(q *Query) error {
+	q.Pattern = Normalize(q.Pattern)
+	in := &Info{ByAlias: make(map[string]int)}
+
+	addClass := func(alias string, term int) (*ClassInfo, error) {
+		if _, dup := in.ByAlias[alias]; dup {
+			return nil, errAt(0, "event class %q appears more than once in PATTERN", alias)
+		}
+		ci := &ClassInfo{Idx: len(in.Classes), Alias: alias, Term: term}
+		in.ByAlias[alias] = ci.Idx
+		in.Classes = append(in.Classes, ci)
+		return ci, nil
+	}
+
+	// classesOf extracts the classes of a disjunction-of-classes or a
+	// single class (the only shapes allowed under negation).
+	classSetOf := func(p PatternExpr) ([]string, bool) {
+		switch x := p.(type) {
+		case *Class:
+			return []string{x.Alias}, true
+		case *Disj:
+			var out []string
+			for _, it := range x.Items {
+				c, ok := it.(*Class)
+				if !ok {
+					return nil, false
+				}
+				out = append(out, c.Alias)
+			}
+			return out, true
+		}
+		return nil, false
+	}
+
+	// normalize top level into a sequence of items
+	var items []PatternExpr
+	switch top := q.Pattern.(type) {
+	case *Seq:
+		items = top.Items
+	default:
+		items = []PatternExpr{q.Pattern}
+	}
+
+	negCount := 0
+	for _, item := range items {
+		t := Term{}
+		ti := len(in.Terms)
+		switch x := item.(type) {
+		case *Class:
+			t.Kind = TermClass
+			ci, err := addClass(x.Alias, ti)
+			if err != nil {
+				return err
+			}
+			t.Classes = []int{ci.Idx}
+		case *Kleene:
+			cl, ok := x.X.(*Class)
+			if !ok {
+				return errAt(0, "Kleene closure must apply to a single event class, got %s", x.X)
+			}
+			t.Kind = TermKleene
+			t.Closure = x.Kind
+			t.Count = x.Count
+			ci, err := addClass(cl.Alias, ti)
+			if err != nil {
+				return err
+			}
+			ci.Closure = x.Kind
+			ci.Count = x.Count
+			t.Classes = []int{ci.Idx}
+		case *Not:
+			aliases, ok := classSetOf(x.X)
+			if !ok {
+				return errAt(0, "negation must apply to an event class or a disjunction of classes, got %s", x.X)
+			}
+			t.Kind = TermNeg
+			negCount++
+			for _, a := range aliases {
+				ci, err := addClass(a, ti)
+				if err != nil {
+					return err
+				}
+				ci.Negated = true
+				t.Classes = append(t.Classes, ci.Idx)
+			}
+		case *Conj:
+			t.Kind = TermConj
+			for _, it := range x.Items {
+				cl, ok := it.(*Class)
+				if !ok {
+					if _, isNot := it.(*Not); isNot {
+						return errAt(0, "mixed negated and non-negated conjunction is not supported")
+					}
+					return errAt(0, "conjunction items must be event classes, got %s", it)
+				}
+				ci, err := addClass(cl.Alias, ti)
+				if err != nil {
+					return err
+				}
+				t.Classes = append(t.Classes, ci.Idx)
+			}
+		case *Disj:
+			t.Kind = TermDisj
+			for _, it := range x.Items {
+				cl, ok := it.(*Class)
+				if !ok {
+					if _, isNot := it.(*Not); isNot {
+						return errAt(0, "disjunction over negation (A|!B) has no meaningful semantics (§4.4.2)")
+					}
+					return errAt(0, "disjunction items must be event classes, got %s", it)
+				}
+				ci, err := addClass(cl.Alias, ti)
+				if err != nil {
+					return err
+				}
+				t.Classes = append(t.Classes, ci.Idx)
+			}
+		default:
+			return errAt(0, "unsupported pattern element %s", item)
+		}
+		in.Terms = append(in.Terms, t)
+	}
+
+	if negCount == len(in.Terms) {
+		return errAt(0, "negation cannot appear by itself (§4.4.2)")
+	}
+	for i, t := range in.Terms {
+		if t.Kind == TermNeg && i > 0 && in.Terms[i-1].Kind == TermNeg {
+			return errAt(0, "adjacent negation terms are not supported; merge them with a disjunction")
+		}
+	}
+	if q.Within <= 0 {
+		return errAt(0, "WITHIN window must be positive")
+	}
+
+	// resolve attribute references & classify predicates
+	for _, c := range q.Where {
+		pi := &PredInfo{Cmp: c}
+		classSet := map[int]bool{}
+		var resolveErr error
+		for _, side := range []Expr{c.L, c.R} {
+			walkExpr(side, func(e Expr) {
+				if resolveErr != nil {
+					return
+				}
+				switch x := e.(type) {
+				case *AttrRef:
+					idx, ok := in.ByAlias[x.Alias]
+					if !ok {
+						resolveErr = errAt(0, "unknown event class %q in predicate %s", x.Alias, c)
+						return
+					}
+					if x.Attr == "" {
+						resolveErr = errAt(0, "bare class reference %q not allowed in WHERE", x.Alias)
+						return
+					}
+					x.Class = idx
+					classSet[idx] = true
+				case *Agg:
+					pi.HasAgg = true
+				}
+			})
+		}
+		if resolveErr != nil {
+			return resolveErr
+		}
+		for idx := range classSet {
+			pi.Classes = append(pi.Classes, idx)
+		}
+		sort.Ints(pi.Classes)
+		if len(pi.Classes) == 0 {
+			return errAt(0, "predicate %s references no event class", c)
+		}
+		if pi.HasAgg {
+			// aggregates must be over closure classes
+			for _, side := range []Expr{c.L, c.R} {
+				walkExpr(side, func(e Expr) {
+					if resolveErr != nil {
+						return
+					}
+					if ag, ok := e.(*Agg); ok {
+						ci := in.Classes[ag.Arg.Class]
+						if ci.Closure == ClosureNone {
+							resolveErr = errAt(0, "aggregate %s over non-closure class %q", ag, ci.Alias)
+						}
+					}
+				})
+			}
+			if resolveErr != nil {
+				return resolveErr
+			}
+		}
+		pi.EqJoin = eqJoinOf(in, c)
+		in.Preds = append(in.Preds, pi)
+	}
+
+	// resolve RETURN clause
+	for i := range q.Return {
+		item := &q.Return[i]
+		var resolveErr error
+		walkExpr(item.Expr, func(e Expr) {
+			if resolveErr != nil {
+				return
+			}
+			if x, ok := e.(*AttrRef); ok {
+				idx, ok := in.ByAlias[x.Alias]
+				if !ok {
+					resolveErr = errAt(0, "unknown event class %q in RETURN", x.Alias)
+					return
+				}
+				x.Class = idx
+				if in.Classes[idx].Negated {
+					resolveErr = errAt(0, "negated class %q cannot be returned", x.Alias)
+				}
+			}
+			if ag, ok := e.(*Agg); ok {
+				idx, known := in.ByAlias[ag.Arg.Alias]
+				if known && in.Classes[idx].Closure == ClosureNone {
+					resolveErr = errAt(0, "aggregate %s over non-closure class %q", ag, ag.Arg.Alias)
+				}
+			}
+		})
+		if resolveErr != nil {
+			return resolveErr
+		}
+	}
+	if len(q.Return) == 0 {
+		// default: return every non-negated class
+		for _, ci := range in.Classes {
+			if !ci.Negated {
+				q.Return = append(q.Return, ReturnItem{Expr: &AttrRef{Alias: ci.Alias, Class: ci.Idx}})
+			}
+		}
+	}
+
+	in.FinalClasses = finalClasses(in)
+	q.Info = in
+	return nil
+}
+
+// eqJoinOf recognizes the hashable equality form A.f = B.g over two
+// distinct plain (non-negated, non-closure) classes.
+func eqJoinOf(in *Info, c *Cmp) *EqJoin {
+	if c.Op != CmpEq {
+		return nil
+	}
+	l, lok := c.L.(*AttrRef)
+	r, rok := c.R.(*AttrRef)
+	if !lok || !rok || l.Class == r.Class {
+		return nil
+	}
+	for _, idx := range []int{l.Class, r.Class} {
+		ci := in.Classes[idx]
+		if ci.Negated || ci.Closure != ClosureNone {
+			return nil
+		}
+	}
+	return &EqJoin{ClassL: l.Class, ClassR: r.Class, AttrL: l.Attr, AttrR: r.Attr}
+}
+
+// finalClasses computes which classes can supply the last event of a match:
+// walking terms from the right, a Kleene-star term is optional (zero
+// occurrences), so the scan continues past it; negations never terminate a
+// match but a trailing negation keeps the previous class final.
+func finalClasses(in *Info) []int {
+	var out []int
+	for i := len(in.Terms) - 1; i >= 0; i-- {
+		t := in.Terms[i]
+		switch t.Kind {
+		case TermNeg:
+			continue // trailing negation: previous term triggers
+		case TermKleene:
+			out = append(out, t.Classes...)
+			if t.Closure == ClosureStar {
+				continue // zero occurrences allowed: previous can be final
+			}
+			sort.Ints(out)
+			return out
+		default:
+			out = append(out, t.Classes...)
+			sort.Ints(out)
+			return out
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("MustParse(%q): %v", src, err))
+	}
+	return q
+}

@@ -1,0 +1,349 @@
+// Package query implements the ZStream CEP query language of §3:
+//
+//	PATTERN  composite event expression  (';' sequence, '&' conjunction,
+//	         '|' disjunction, '!' negation, '*'/'+'/'^n' Kleene closure)
+//	WHERE    value constraints (conjunction of comparison predicates)
+//	WITHIN   time constraint (window)
+//	RETURN   output expression
+//
+// The package provides the lexer, the AST, a recursive-descent parser, and
+// semantic analysis that numbers event classes and classifies predicates
+// for the planner.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Pattern expressions
+// ---------------------------------------------------------------------------
+
+// PatternExpr is a node of the PATTERN clause AST.
+type PatternExpr interface {
+	fmt.Stringer
+	patternNode()
+}
+
+// Class is a reference to an event class (an alias over the input stream).
+type Class struct {
+	Alias string
+}
+
+// Seq is a left-to-right temporal sequence: Items[0] ; Items[1] ; ...
+type Seq struct {
+	Items []PatternExpr
+}
+
+// Conj is a conjunction: all items occur within the window, in any order.
+type Conj struct {
+	Items []PatternExpr
+}
+
+// Disj is a disjunction: at least one item occurs within the window.
+type Disj struct {
+	Items []PatternExpr
+}
+
+// Not is a negation: the operand does not occur (must be combined with
+// sequence/conjunction context; never stands alone, §4.4.2).
+type Not struct {
+	X PatternExpr
+}
+
+// ClosureKind distinguishes the three Kleene-closure forms of §3.1.
+type ClosureKind int
+
+const (
+	// ClosureNone marks a plain (non-closure) class.
+	ClosureNone ClosureKind = iota
+	// ClosureStar is A*: zero or more occurrences.
+	ClosureStar
+	// ClosurePlus is A+: one or more occurrences.
+	ClosurePlus
+	// ClosureCount is A^n: exactly n occurrences.
+	ClosureCount
+)
+
+func (k ClosureKind) String() string {
+	switch k {
+	case ClosureNone:
+		return ""
+	case ClosureStar:
+		return "*"
+	case ClosurePlus:
+		return "+"
+	case ClosureCount:
+		return "^n"
+	}
+	return "?"
+}
+
+// Kleene is a Kleene closure over a class: X*, X+ or X^Count.
+type Kleene struct {
+	X     PatternExpr
+	Kind  ClosureKind
+	Count int // valid when Kind == ClosureCount
+}
+
+func (*Class) patternNode()  {}
+func (*Seq) patternNode()    {}
+func (*Conj) patternNode()   {}
+func (*Disj) patternNode()   {}
+func (*Not) patternNode()    {}
+func (*Kleene) patternNode() {}
+
+func (c *Class) String() string { return c.Alias }
+
+func joinPattern(items []PatternExpr, sep string, parentPrec, prec int) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = patternString(it, prec)
+	}
+	s := strings.Join(parts, sep)
+	if parentPrec > prec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// precedence: ';' = 1, '|' = 2, '&' = 3, unary = 4
+func patternString(p PatternExpr, parentPrec int) string {
+	switch x := p.(type) {
+	case *Class:
+		return x.Alias
+	case *Seq:
+		return joinPattern(x.Items, " ; ", parentPrec, 1)
+	case *Disj:
+		return joinPattern(x.Items, " | ", parentPrec, 2)
+	case *Conj:
+		return joinPattern(x.Items, " & ", parentPrec, 3)
+	case *Not:
+		return "!" + patternString(x.X, 4)
+	case *Kleene:
+		base := patternString(x.X, 4)
+		switch x.Kind {
+		case ClosureStar:
+			return base + "*"
+		case ClosurePlus:
+			return base + "+"
+		case ClosureCount:
+			return fmt.Sprintf("%s^%d", base, x.Count)
+		}
+		return base
+	default:
+		return fmt.Sprintf("<%T>", p)
+	}
+}
+
+func (s *Seq) String() string    { return patternString(s, 0) }
+func (c *Conj) String() string   { return patternString(c, 0) }
+func (d *Disj) String() string   { return patternString(d, 0) }
+func (n *Not) String() string    { return patternString(n, 0) }
+func (k *Kleene) String() string { return patternString(k, 0) }
+
+// ---------------------------------------------------------------------------
+// Value expressions (WHERE / RETURN)
+// ---------------------------------------------------------------------------
+
+// Expr is a node of a value expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// AttrRef is alias.attr; the analyzer fills Class with the class index.
+// The pseudo-attribute "ts" refers to the event timestamp.
+type AttrRef struct {
+	Alias string
+	Attr  string
+	Class int // resolved class index; -1 before analysis
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	V string
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp int
+
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/"}[o]
+}
+
+// Arith is L op R.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// AggFn enumerates the closure aggregate functions of §3.1/§3.2.
+type AggFn int
+
+const (
+	AggSum AggFn = iota
+	AggAvg
+	AggCount
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"sum", "avg", "count", "min", "max"}
+
+func (f AggFn) String() string { return aggNames[f] }
+
+// aggByName maps a lower-cased function name to its AggFn.
+var aggByName = map[string]AggFn{
+	"sum": AggSum, "avg": AggAvg, "count": AggCount, "min": AggMin, "max": AggMax,
+}
+
+// Agg is an aggregate over the events grouped by a Kleene closure class,
+// e.g. sum(T2.volume).
+type Agg struct {
+	Fn  AggFn
+	Arg *AttrRef
+}
+
+func (*AttrRef) exprNode() {}
+func (*NumLit) exprNode()  {}
+func (*StrLit) exprNode()  {}
+func (*Arith) exprNode()   {}
+func (*Agg) exprNode()     {}
+
+func (a *AttrRef) String() string { return a.Alias + "." + a.Attr }
+func (n *NumLit) String() string {
+	return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%f", n.V), "0"), ".")
+}
+func (s *StrLit) String() string { return "'" + s.V + "'" }
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+func (a *Agg) String() string { return fmt.Sprintf("%s(%s)", a.Fn, a.Arg) }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLte
+	CmpGt
+	CmpGte
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Negate returns the complementary operator (=/!=, </>=, etc.).
+func (o CmpOp) Negate() CmpOp {
+	switch o {
+	case CmpEq:
+		return CmpNeq
+	case CmpNeq:
+		return CmpEq
+	case CmpLt:
+		return CmpGte
+	case CmpLte:
+		return CmpGt
+	case CmpGt:
+		return CmpLte
+	default:
+		return CmpLt
+	}
+}
+
+// Cmp is one comparison predicate L op R.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+// ReturnItem is one entry of the RETURN clause: either a whole class
+// (Expr == *AttrRef with Attr == "") or a value expression, optionally
+// renamed with AS.
+type ReturnItem struct {
+	Expr Expr
+	As   string
+}
+
+func (r ReturnItem) String() string {
+	s := r.Expr.String()
+	if ar, ok := r.Expr.(*AttrRef); ok && ar.Attr == "" {
+		s = ar.Alias
+	}
+	if r.As != "" {
+		s += " AS " + r.As
+	}
+	return s
+}
+
+// Query is a parsed (and, after Analyze, validated) CEP query.
+type Query struct {
+	Pattern PatternExpr
+	Where   []*Cmp
+	Within  int64 // window length in ticks
+	Return  []ReturnItem
+
+	// Info is populated by Analyze.
+	Info *Info
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("PATTERN ")
+	b.WriteString(q.Pattern.String())
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	fmt.Fprintf(&b, " WITHIN %d units", q.Within)
+	if len(q.Return) > 0 {
+		b.WriteString(" RETURN ")
+		for i, r := range q.Return {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(r.String())
+		}
+	}
+	return b.String()
+}
+
+// walkExprs visits every value expression of the query in place.
+func walkExpr(e Expr, f func(Expr)) {
+	f(e)
+	switch x := e.(type) {
+	case *Arith:
+		walkExpr(x.L, f)
+		walkExpr(x.R, f)
+	case *Agg:
+		walkExpr(x.Arg, f)
+	}
+}

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Error is a query compilation error carrying the byte offset where it was
+// detected.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("query: at offset %d: %s", e.Pos, e.Msg) }
+
+func errAt(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns a query string into tokens. It is clause-agnostic; the parser
+// decides whether '*' means Kleene closure or multiplication from context.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lex tokenizes the whole input.
+func (l *lexer) lex() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.ident(), nil
+	case c >= '0' && c <= '9':
+		return l.number()
+	case c == '\'' || c == '"':
+		return l.str()
+	}
+	l.pos++
+	switch c {
+	case ';':
+		return Token{Kind: TokSemi, Pos: start}, nil
+	case '&':
+		return Token{Kind: TokAmp, Pos: start}, nil
+	case '|':
+		return Token{Kind: TokPipe, Pos: start}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: start}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: start}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: start}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: start}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: start}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: start}, nil
+	case '=':
+		return Token{Kind: TokEq, Pos: start}, nil
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokNeq, Pos: start}, nil
+		}
+		return Token{Kind: TokBang, Pos: start}, nil
+	case '<':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokLte, Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Pos: start}, nil
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokGte, Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Pos: start}, nil
+	}
+	return Token{}, errAt(start, "unexpected character %q", rune(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// line comments: -- to end of line
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) ident() Token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if k, ok := keywords[strings.ToUpper(text)]; ok {
+		return Token{Kind: k, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (l *lexer) number() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, errAt(start, "bad number %q", text)
+	}
+	return Token{Kind: TokNumber, Num: f, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) str() (Token, error) {
+	start := l.pos
+	quote := l.src[l.pos]
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, errAt(start, "unterminated string literal")
+}

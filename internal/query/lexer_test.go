@@ -1,0 +1,113 @@
+package query
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, "PATTERN A;B WITHIN 10 secs")
+	want := []TokKind{TokPattern, TokIdent, TokSemi, TokIdent, TokWithin, TokNumber, TokIdent, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "; ! & | ( ) , . ^ * + - / = != < <= > >=")
+	want := []TokKind{TokSemi, TokBang, TokAmp, TokPipe, TokLParen, TokRParen, TokComma,
+		TokDot, TokCaret, TokStar, TokPlus, TokMinus, TokSlash, TokEq, TokNeq,
+		TokLt, TokLte, TokGt, TokGte, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexAll(t, "42 3.14 0.5")
+	if toks[0].Num != 42 || toks[1].Num != 3.14 || toks[2].Num != 0.5 {
+		t.Errorf("numbers: %v %v %v", toks[0].Num, toks[1].Num, toks[2].Num)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `'Google' "IBM" 'a\'b'`)
+	if toks[0].Text != "Google" || toks[1].Text != "IBM" || toks[2].Text != "a'b" {
+		t.Errorf("strings: %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexAll(t, "pattern Where and WITHIN return as not or")
+	want := []TokKind{TokPattern, TokWhere, TokAnd, TokWithin, TokReturn, TokAs, TokNot, TokOr, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComment(t *testing.T) {
+	toks := lexAll(t, "A -- this is a comment\n;B")
+	want := []TokKind{TokIdent, TokSemi, TokIdent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "'unterminated", "#"} {
+		if _, err := newLexer(src).lex(); err == nil {
+			t.Errorf("lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "AB  <=")
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions: %d %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if s := (Token{Kind: TokIdent, Text: "A"}).String(); s != `identifier("A")` {
+		t.Errorf("ident string = %q", s)
+	}
+	if s := (Token{Kind: TokNumber, Num: 2}).String(); s != "number(2)" {
+		t.Errorf("number string = %q", s)
+	}
+	if s := (Token{Kind: TokSemi}).String(); s != ";" {
+		t.Errorf("semi string = %q", s)
+	}
+	if s := TokKind(999).String(); s != "token(999)" {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}

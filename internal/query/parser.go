@@ -1,0 +1,460 @@
+package query
+
+import (
+	"math"
+	"strings"
+)
+
+// Parse parses and analyzes a query string, returning a validated Query.
+func Parse(src string) (*Query, error) {
+	q, err := ParseOnly(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseOnly parses without semantic analysis (used by optimizer tests that
+// construct partially-formed patterns).
+func ParseOnly(src string) (*Query, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseQuery()
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errAt(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+// time units, in ticks (1 tick == 1 millisecond nominally; the paper's
+// dimensionless "units" are raw ticks).
+var timeUnits = map[string]int64{
+	"unit": 1, "units": 1,
+	"ms": 1, "msec": 1, "msecs": 1,
+	"s": 1000, "sec": 1000, "secs": 1000, "second": 1000, "seconds": 1000,
+	"min": 60_000, "mins": 60_000, "minute": 60_000, "minutes": 60_000,
+	"h": 3_600_000, "hour": 3_600_000, "hours": 3_600_000,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if _, err := p.expect(TokPattern); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = pat
+
+	if p.accept(TokWhere) {
+		// The paper writes multiple WHERE clauses in some queries
+		// (e.g. Query 3); treat subsequent WHERE like AND.
+		for {
+			cmps, err := p.parseCmpChain()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cmps...)
+			if p.accept(TokAnd) || p.accept(TokWhere) {
+				continue
+			}
+			break
+		}
+	}
+
+	if _, err := p.expect(TokWithin); err != nil {
+		return nil, err
+	}
+	numTok, err := p.expect(TokNumber)
+	if err != nil {
+		return nil, err
+	}
+	mult := int64(1)
+	if p.cur().Kind == TokIdent {
+		u, ok := timeUnits[strings.ToLower(p.cur().Text)]
+		if !ok {
+			return nil, errAt(p.cur().Pos, "unknown time unit %q", p.cur().Text)
+		}
+		mult = u
+		p.advance()
+	}
+	w := numTok.Num * float64(mult)
+	if w <= 0 || w > math.MaxInt64/4 || w != math.Trunc(w) {
+		return nil, errAt(numTok.Pos, "invalid window %g", numTok.Num)
+	}
+	q.Within = int64(w)
+
+	if p.accept(TokReturn) {
+		for {
+			item, err := p.parseReturnItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Return = append(q.Return, item)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errAt(p.cur().Pos, "unexpected trailing input: %s", p.cur())
+	}
+	return q, nil
+}
+
+// ---------------------------------------------------------------------------
+// pattern grammar: seq > disj > conj > unary > postfix > primary
+// ---------------------------------------------------------------------------
+
+func (p *parser) parsePattern() (PatternExpr, error) {
+	first, err := p.parseDisj()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		return first, nil
+	}
+	items := []PatternExpr{first}
+	for p.accept(TokSemi) {
+		next, err := p.parseDisj()
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := next.(*Seq); ok {
+			items = append(items, s.Items...)
+		} else {
+			items = append(items, next)
+		}
+	}
+	return &Seq{Items: items}, nil
+}
+
+func (p *parser) parseDisj() (PatternExpr, error) {
+	first, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokPipe {
+		return first, nil
+	}
+	items := []PatternExpr{first}
+	for p.accept(TokPipe) {
+		next, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		if d, ok := next.(*Disj); ok {
+			items = append(items, d.Items...)
+		} else {
+			items = append(items, next)
+		}
+	}
+	return &Disj{Items: items}, nil
+}
+
+func (p *parser) parseConj() (PatternExpr, error) {
+	first, err := p.parsePatternUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokAmp {
+		return first, nil
+	}
+	items := []PatternExpr{first}
+	for p.accept(TokAmp) {
+		next, err := p.parsePatternUnary()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := next.(*Conj); ok {
+			items = append(items, c.Items...)
+		} else {
+			items = append(items, next)
+		}
+	}
+	return &Conj{Items: items}, nil
+}
+
+func (p *parser) parsePatternUnary() (PatternExpr, error) {
+	if p.accept(TokBang) || p.accept(TokNot) {
+		x, err := p.parsePatternUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePatternPostfix()
+}
+
+func (p *parser) parsePatternPostfix() (PatternExpr, error) {
+	x, err := p.parsePatternPrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokStar:
+		p.advance()
+		return &Kleene{X: x, Kind: ClosureStar}, nil
+	case TokPlus:
+		p.advance()
+		return &Kleene{X: x, Kind: ClosurePlus}, nil
+	case TokCaret:
+		p.advance()
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.Num < 1 || n.Num != math.Trunc(n.Num) {
+			return nil, errAt(n.Pos, "closure count must be a positive integer, got %g", n.Num)
+		}
+		return &Kleene{X: x, Kind: ClosureCount, Count: int(n.Num)}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parsePatternPrimary() (PatternExpr, error) {
+	switch p.cur().Kind {
+	case TokIdent:
+		t := p.advance()
+		return &Class{Alias: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		inner, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, errAt(p.cur().Pos, "expected event class or '(', found %s", p.cur())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// value expressions
+// ---------------------------------------------------------------------------
+
+// parseCmpChain parses expr (op expr)+ and expands chained comparisons
+// (T1.name = T2.name = T3.name) into adjacent pairs.
+func (p *parser) parseCmpChain() ([]*Cmp, error) {
+	first, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := cmpOpOf(p.cur().Kind)
+	if !ok {
+		return nil, errAt(p.cur().Pos, "expected comparison operator, found %s", p.cur())
+	}
+	var out []*Cmp
+	left := first
+	for {
+		p.advance()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Cmp{Op: op, L: left, R: right})
+		next, ok := cmpOpOf(p.cur().Kind)
+		if !ok {
+			return out, nil
+		}
+		op, left = next, right
+	}
+}
+
+func cmpOpOf(k TokKind) (CmpOp, bool) {
+	switch k {
+	case TokEq:
+		return CmpEq, true
+	case TokNeq:
+		return CmpNeq, true
+	case TokLt:
+		return CmpLt, true
+	case TokLte:
+		return CmpLte, true
+	case TokGt:
+		return CmpGt, true
+	case TokGte:
+		return CmpGte, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch p.cur().Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Arith{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseExprUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ArithOp
+		switch p.cur().Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseExprUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Arith{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseExprUnary() (Expr, error) {
+	if p.accept(TokMinus) {
+		x, err := p.parseExprUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*NumLit); ok {
+			return &NumLit{V: -n.V}, nil
+		}
+		return &Arith{Op: OpSub, L: &NumLit{V: 0}, R: x}, nil
+	}
+	return p.parseExprPrimary()
+}
+
+func (p *parser) parseExprPrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.advance()
+		return &NumLit{V: t.Num}, nil
+	case TokString:
+		t := p.advance()
+		return &StrLit{V: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		inner, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case TokIdent:
+		t := p.advance()
+		// aggregate: sum(T2.volume), count(T2)
+		if fn, isAgg := aggByName[strings.ToLower(t.Text)]; isAgg && p.cur().Kind == TokLParen {
+			p.advance()
+			ref, err := p.parseAttrRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if fn != AggCount && ref.Attr == "" {
+				return nil, errAt(t.Pos, "%s requires alias.attr argument", fn)
+			}
+			return &Agg{Fn: fn, Arg: ref}, nil
+		}
+		if p.accept(TokDot) {
+			at, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &AttrRef{Alias: t.Text, Attr: at.Text, Class: -1}, nil
+		}
+		// bare alias (class reference; only legal in RETURN / count())
+		return &AttrRef{Alias: t.Text, Class: -1}, nil
+	default:
+		return nil, errAt(p.cur().Pos, "expected expression, found %s", p.cur())
+	}
+}
+
+func (p *parser) parseAttrRef() (*AttrRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	ref := &AttrRef{Alias: t.Text, Class: -1}
+	if p.accept(TokDot) {
+		at, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ref.Attr = at.Text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseReturnItem() (ReturnItem, error) {
+	e, err := p.parseAdd()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	item := ReturnItem{Expr: e}
+	if p.accept(TokAs) {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		item.As = t.Text
+	}
+	return item, nil
+}

@@ -1,0 +1,401 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQuery1(t *testing.T) {
+	// Query 1 of the paper (x = 5%, y = 3%).
+	q, err := Parse(`
+		PATTERN T1;T2;T3
+		WHERE T1.name = T3.name
+		  AND T2.name = 'Google'
+		  AND T1.price > 1.05 * T2.price
+		  AND T3.price < 0.97 * T2.price
+		WITHIN 10 secs
+		RETURN T1, T2, T3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Within != 10_000 {
+		t.Errorf("Within = %d", q.Within)
+	}
+	if len(q.Where) != 4 {
+		t.Fatalf("got %d predicates", len(q.Where))
+	}
+	if got := q.Pattern.String(); got != "T1 ; T2 ; T3" {
+		t.Errorf("pattern = %q", got)
+	}
+	in := q.Info
+	if in.NumClasses() != 3 {
+		t.Fatalf("classes = %d", in.NumClasses())
+	}
+	if in.ByAlias["T1"] != 0 || in.ByAlias["T2"] != 1 || in.ByAlias["T3"] != 2 {
+		t.Errorf("alias order wrong: %v", in.ByAlias)
+	}
+	// T1.name = T3.name is a hashable equality join
+	var eq *EqJoin
+	for _, p := range in.Preds {
+		if p.EqJoin != nil {
+			eq = p.EqJoin
+		}
+	}
+	if eq == nil || eq.ClassL != 0 || eq.ClassR != 2 || eq.AttrL != "name" || eq.AttrR != "name" {
+		t.Errorf("EqJoin = %+v", eq)
+	}
+	if len(in.FinalClasses) != 1 || in.FinalClasses[0] != 2 {
+		t.Errorf("FinalClasses = %v", in.FinalClasses)
+	}
+}
+
+func TestParseQuery2Negation(t *testing.T) {
+	q, err := Parse(`
+		PATTERN T1; !T2; T3
+		WHERE T1.name = T2.name = T3.name
+		  AND T1.price > 50
+		  AND T2.price < 50
+		  AND T3.price > 60
+		WITHIN 10 secs
+		RETURN T1, T3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Info
+	if !in.Classes[1].Negated || in.Classes[0].Negated || in.Classes[2].Negated {
+		t.Errorf("negation flags wrong: %+v", in.Classes)
+	}
+	// chained equality expands into two predicates
+	nEq := 0
+	for _, p := range in.Preds {
+		if p.Cmp.Op == CmpEq {
+			nEq++
+		}
+	}
+	if nEq != 2 {
+		t.Errorf("chained equality expanded into %d preds", nEq)
+	}
+	if len(in.Terms) != 3 || in.Terms[1].Kind != TermNeg {
+		t.Errorf("terms = %+v", in.Terms)
+	}
+}
+
+func TestParseQuery3Kleene(t *testing.T) {
+	q, err := Parse(`
+		PATTERN T1; T2^5; T3
+		WHERE T1.name = T3.name
+		  AND T2.name = 'Google'
+		  AND sum(T2.volume) > 1000
+		  AND T3.price > 1.2 * T1.price
+		WITHIN 10 secs
+		RETURN T1, sum(T2.volume), T3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Info
+	c2 := in.Classes[1]
+	if c2.Closure != ClosureCount || c2.Count != 5 {
+		t.Errorf("closure info wrong: %+v", c2)
+	}
+	var aggPred *PredInfo
+	for _, p := range in.Preds {
+		if p.HasAgg {
+			aggPred = p
+		}
+	}
+	if aggPred == nil || !aggPred.Single() || aggPred.Classes[0] != 1 {
+		t.Errorf("agg predicate wrong: %+v", aggPred)
+	}
+	if len(q.Return) != 3 {
+		t.Errorf("return items = %d", len(q.Return))
+	}
+}
+
+func TestParseKleeneStarPlus(t *testing.T) {
+	q := MustParse("PATTERN A;B*;C WITHIN 10 units")
+	if q.Info.Classes[1].Closure != ClosureStar {
+		t.Error("star closure not detected")
+	}
+	// star closure allows zero B's, so both B and C... final is C only; but
+	// a trailing star extends final classes:
+	q2 := MustParse("PATTERN A;B* WITHIN 10 units")
+	fc := q2.Info.FinalClasses
+	if len(fc) != 2 {
+		t.Errorf("trailing star final classes = %v", fc)
+	}
+	q3 := MustParse("PATTERN A;B+ WITHIN 10 units")
+	if fc := q3.Info.FinalClasses; len(fc) != 1 || fc[0] != 1 {
+		t.Errorf("trailing plus final classes = %v", fc)
+	}
+}
+
+func TestParseConjDisj(t *testing.T) {
+	q := MustParse("PATTERN A & B WITHIN 5 units")
+	if len(q.Info.Terms) != 1 || q.Info.Terms[0].Kind != TermConj {
+		t.Errorf("conj terms = %+v", q.Info.Terms)
+	}
+	if len(q.Info.FinalClasses) != 2 {
+		t.Errorf("conj final classes = %v", q.Info.FinalClasses)
+	}
+	q = MustParse("PATTERN A | B WITHIN 5 units")
+	if len(q.Info.Terms) != 1 || q.Info.Terms[0].Kind != TermDisj {
+		t.Errorf("disj terms = %+v", q.Info.Terms)
+	}
+	q = MustParse("PATTERN (A|B) ; C WITHIN 5 units")
+	if len(q.Info.Terms) != 2 || q.Info.Terms[0].Kind != TermDisj || q.Info.Terms[1].Kind != TermClass {
+		t.Errorf("mixed terms = %+v", q.Info.Terms)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// '&' binds tighter than '|' binds tighter than ';'
+	q, err := ParseOnly("PATTERN A ; B & C | D WITHIN 5 units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Pattern.String(); got != "A ; B & C | D" {
+		t.Errorf("pattern = %q", got)
+	}
+	seq, ok := Normalize(q.Pattern).(*Seq)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("top not 2-item seq: %v", q.Pattern)
+	}
+	if _, ok := seq.Items[1].(*Disj); !ok {
+		t.Errorf("second item not Disj: %T", seq.Items[1])
+	}
+}
+
+func TestParseNegationDeMorgan(t *testing.T) {
+	// Expression1 "A;(!B&!C);D" normalizes to Expression2 "A;!(B|C);D"
+	q, err := Parse("PATTERN A; (!B & !C); D WITHIN 10 units RETURN A, D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Pattern.String(); got != "A ; !(B | C) ; D" {
+		t.Errorf("normalized pattern = %q", got)
+	}
+	in := q.Info
+	if len(in.Terms) != 3 || in.Terms[1].Kind != TermNeg || len(in.Terms[1].Classes) != 2 {
+		t.Errorf("neg term = %+v", in.Terms)
+	}
+	if !in.Classes[1].Negated || !in.Classes[2].Negated {
+		t.Error("negation flags not set on B and C")
+	}
+}
+
+func TestParseDoubleNegation(t *testing.T) {
+	q, err := Parse("PATTERN A; !!B WITHIN 10 units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Pattern.String(); got != "A ; B" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestParseTimeUnits(t *testing.T) {
+	cases := map[string]int64{
+		"200 units": 200,
+		"200":       200,
+		"10 secs":   10_000,
+		"500 msecs": 500,
+		"2 mins":    120_000,
+		"10 hours":  36_000_000,
+	}
+	for src, want := range cases {
+		q, err := Parse("PATTERN A;B WITHIN " + src)
+		if err != nil {
+			t.Errorf("WITHIN %s: %v", src, err)
+			continue
+		}
+		if q.Within != want {
+			t.Errorf("WITHIN %s = %d, want %d", src, q.Within, want)
+		}
+	}
+}
+
+func TestParseReturnForms(t *testing.T) {
+	q := MustParse("PATTERN A;B WITHIN 5 RETURN A, B.price, B.price * 2 AS dbl")
+	if len(q.Return) != 3 {
+		t.Fatalf("return = %d items", len(q.Return))
+	}
+	if q.Return[2].As != "dbl" {
+		t.Errorf("AS name = %q", q.Return[2].As)
+	}
+	// default RETURN: all non-negated classes
+	q = MustParse("PATTERN A;!B;C WITHIN 5")
+	if len(q.Return) != 2 {
+		t.Errorf("default return = %d items", len(q.Return))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "expected PATTERN"},
+		{"PATTERN", "expected event class"},
+		{"PATTERN A;B", "expected WITHIN"},
+		{"PATTERN A;B WITHIN", "expected number"},
+		{"PATTERN A;B WITHIN 0", "window"},
+		{"PATTERN A;B WITHIN 10 lightyears", "unknown time unit"},
+		{"PATTERN A;A WITHIN 10", "more than once"},
+		{"PATTERN !A WITHIN 10", "by itself"},
+		{"PATTERN !A;!B WITHIN 10", "by itself"},
+		{"PATTERN A;!B;!C;D WITHIN 10", "adjacent negation"},
+		{"PATTERN A|!B WITHIN 10", "disjunction over negation"},
+		{"PATTERN A;(B;C)* WITHIN 10", "Kleene closure must apply to a single event class"},
+		{"PATTERN A;B^0 WITHIN 10", "closure count"},
+		{"PATTERN A;B^2.5 WITHIN 10", "closure count"},
+		{"PATTERN A;!(B&C);D WITHIN 10", "negation must apply"},
+		{"PATTERN A&(B;C) WITHIN 10", "conjunction items"},
+		{"PATTERN A|(B;C) WITHIN 10", "disjunction items"},
+		{"PATTERN A;B WHERE C.x > 1 WITHIN 10", "unknown event class"},
+		{"PATTERN A;B WHERE A.x WITHIN 10", "expected comparison"},
+		{"PATTERN A;B WHERE 1 > 0 WITHIN 10", "references no event class"},
+		{"PATTERN A;B WITHIN 10 RETURN C", "unknown event class"},
+		{"PATTERN A;!B;C WITHIN 10 RETURN B", "negated class"},
+		{"PATTERN A;B WHERE sum(A.x) > 1 WITHIN 10", "non-closure"},
+		{"PATTERN A;B WITHIN 10 RETURN sum(B.x)", "non-closure"},
+		{"PATTERN A;B WITHIN 10 units extra", "trailing"},
+		{"PATTERN A;B WITHIN 10 lightyrs", "unknown time unit"},
+		{"PATTERN A;B WHERE avg(A) > 1 WITHIN 10", "requires alias.attr"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	q := MustParse("PATTERN A;B WHERE A.x > (1 + 0.05) * B.y - 2 / 2 WITHIN 5")
+	p := q.Info.Preds[0]
+	if p.Single() {
+		t.Error("multi-class predicate classified as single")
+	}
+	if len(p.Classes) != 2 {
+		t.Errorf("classes = %v", p.Classes)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	q := MustParse("PATTERN A;B WHERE A.x > -5 WITHIN 5")
+	cmp := q.Info.Preds[0].Cmp
+	n, ok := cmp.R.(*NumLit)
+	if !ok || n.V != -5 {
+		t.Errorf("negative literal = %v", cmp.R)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"PATTERN A ; B ; C WITHIN 100 units",
+		"PATTERN A ; !B ; C WHERE A.price > 10 WITHIN 100 units RETURN A, C",
+		"PATTERN A ; B^5 ; C WHERE sum(B.volume) > 7 WITHIN 100 units RETURN A, sum(B.volume), C",
+		"PATTERN A & B WITHIN 50 units",
+		"PATTERN A | B ; C WITHIN 50 units",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Errorf("re-parse of %q (-> %q) failed: %v", src, q1.String(), err)
+			continue
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip unstable:\n  1: %s\n  2: %s", q1, q2)
+		}
+	}
+}
+
+func TestEqJoinNotDetected(t *testing.T) {
+	// inequality, same class, closure class, negated class: no EqJoin
+	cases := []string{
+		"PATTERN A;B WHERE A.x != B.x WITHIN 5",
+		"PATTERN A;B WHERE A.x = A.y WITHIN 5",
+		"PATTERN A;B*;C WHERE B.x = C.x WITHIN 5",
+		"PATTERN A;!B;C WHERE B.x = C.x WITHIN 5",
+		"PATTERN A;B WHERE A.x = B.x + 1 WITHIN 5",
+	}
+	for _, src := range cases {
+		q := MustParse(src)
+		for _, p := range q.Info.Preds {
+			if p.EqJoin != nil {
+				t.Errorf("%q: unexpected EqJoin %+v", src, p.EqJoin)
+			}
+		}
+	}
+	// cross-attribute equality is hashable
+	q := MustParse("PATTERN A;B WHERE A.x = B.y WITHIN 5")
+	if q.Info.Preds[0].EqJoin == nil {
+		t.Error("cross-attribute equality not detected")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		"PATTERN A;(!B&!C);D WITHIN 10",
+		"PATTERN (A;B);(C;D) WITHIN 10",
+		"PATTERN A|(B|C) WITHIN 10",
+		"PATTERN A&(B&C) WITHIN 10",
+		"PATTERN !!A;B WITHIN 10",
+	}
+	for _, src := range srcs {
+		q, err := ParseOnly(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1 := Normalize(q.Pattern)
+		n2 := Normalize(n1)
+		if n1.String() != n2.String() {
+			t.Errorf("%q: normalize not idempotent: %q vs %q", src, n1, n2)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	for k, want := range map[TermKind]string{TermClass: "class", TermNeg: "neg", TermKleene: "kleene", TermConj: "conj", TermDisj: "disj"} {
+		if k.String() != want {
+			t.Errorf("TermKind(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	cases := map[CmpOp]CmpOp{CmpEq: CmpNeq, CmpNeq: CmpEq, CmpLt: CmpGte, CmpLte: CmpGt, CmpGt: CmpLte, CmpGte: CmpLt}
+	for op, want := range cases {
+		if got := op.Negate(); got != want {
+			t.Errorf("%s.Negate() = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestMultipleWhereClauses(t *testing.T) {
+	// Query 3 in the paper writes two WHERE clauses; treat like AND.
+	q, err := Parse(`PATTERN T1;T2^5;T3
+		WHERE T1.name = T3.name
+		WHERE T2.name = 'Google'
+		WITHIN 10 secs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Errorf("preds = %d", len(q.Where))
+	}
+}

@@ -1,0 +1,96 @@
+package query
+
+// Normalize applies the always-beneficial algebraic rewrites of §5.2.1 to a
+// pattern expression and returns the simplified pattern. A rewrite is
+// applied only when it reduces the operator count or replaces an operator
+// with a cheaper one (C_DIS < C_SEQ < C_CON), which holds for every rule
+// below:
+//
+//   - double negation elimination:        !!X        -> X
+//   - De Morgan over conjunction:         !B & !C    -> !(B|C)
+//     (one DISJ instead of one CONJ plus an extra negation; the paper's
+//     Expression1 -> Expression2 example)
+//   - flattening of nested same-kind ops: (A;B);C    -> A;B;C
+//   - single-item unwrapping:             Seq{X}     -> X
+func Normalize(p PatternExpr) PatternExpr {
+	switch x := p.(type) {
+	case *Class:
+		return x
+	case *Not:
+		inner := Normalize(x.X)
+		if n, ok := inner.(*Not); ok {
+			return n.X // !!X -> X
+		}
+		return &Not{X: inner}
+	case *Kleene:
+		return &Kleene{X: Normalize(x.X), Kind: x.Kind, Count: x.Count}
+	case *Seq:
+		items := normalizeItems(x.Items, func(e PatternExpr) ([]PatternExpr, bool) {
+			s, ok := e.(*Seq)
+			if !ok {
+				return nil, false
+			}
+			return s.Items, true
+		})
+		if len(items) == 1 {
+			return items[0]
+		}
+		return &Seq{Items: items}
+	case *Disj:
+		items := normalizeItems(x.Items, func(e PatternExpr) ([]PatternExpr, bool) {
+			d, ok := e.(*Disj)
+			if !ok {
+				return nil, false
+			}
+			return d.Items, true
+		})
+		if len(items) == 1 {
+			return items[0]
+		}
+		return &Disj{Items: items}
+	case *Conj:
+		items := normalizeItems(x.Items, func(e PatternExpr) ([]PatternExpr, bool) {
+			c, ok := e.(*Conj)
+			if !ok {
+				return nil, false
+			}
+			return c.Items, true
+		})
+		if len(items) == 1 {
+			return items[0]
+		}
+		// De Morgan: if every item is a negation, !B & !C & ... -> !(B|C|...)
+		allNeg := true
+		for _, it := range items {
+			if _, ok := it.(*Not); !ok {
+				allNeg = false
+				break
+			}
+		}
+		if allNeg {
+			union := make([]PatternExpr, len(items))
+			for i, it := range items {
+				union[i] = it.(*Not).X
+			}
+			return Normalize(&Not{X: &Disj{Items: union}})
+		}
+		return &Conj{Items: items}
+	default:
+		return p
+	}
+}
+
+// normalizeItems normalizes each item and splices children of same-kind
+// nodes into the parent (associativity flattening).
+func normalizeItems(items []PatternExpr, split func(PatternExpr) ([]PatternExpr, bool)) []PatternExpr {
+	out := make([]PatternExpr, 0, len(items))
+	for _, it := range items {
+		n := Normalize(it)
+		if kids, ok := split(n); ok {
+			out = append(out, kids...)
+		} else {
+			out = append(out, n)
+		}
+	}
+	return out
+}

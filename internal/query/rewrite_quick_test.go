@@ -1,0 +1,204 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// genPattern builds a random pattern tree over distinct class aliases.
+type genPattern struct {
+	P PatternExpr
+}
+
+func (genPattern) Generate(rand *rand.Rand, size int) reflect.Value {
+	next := 0
+	var gen func(depth int, allowNeg bool) PatternExpr
+	gen = func(depth int, allowNeg bool) PatternExpr {
+		if depth <= 0 || rand.Intn(3) == 0 {
+			next++
+			return &Class{Alias: alias(next)}
+		}
+		switch rand.Intn(5) {
+		case 0:
+			return &Seq{Items: []PatternExpr{gen(depth-1, allowNeg), gen(depth-1, allowNeg)}}
+		case 1:
+			return &Conj{Items: []PatternExpr{gen(depth-1, allowNeg), gen(depth-1, allowNeg)}}
+		case 2:
+			return &Disj{Items: []PatternExpr{gen(depth-1, false), gen(depth-1, false)}}
+		case 3:
+			if allowNeg {
+				return &Not{X: gen(depth-1, false)}
+			}
+			return gen(depth-1, allowNeg)
+		default:
+			next++
+			base := &Class{Alias: alias(next)}
+			kinds := []ClosureKind{ClosureStar, ClosurePlus, ClosureCount}
+			k := kinds[rand.Intn(3)]
+			cnt := 0
+			if k == ClosureCount {
+				cnt = 1 + rand.Intn(4)
+			}
+			return &Kleene{X: base, Kind: k, Count: cnt}
+		}
+	}
+	return reflect.ValueOf(genPattern{P: gen(3+rand.Intn(2), true)})
+}
+
+func alias(i int) string {
+	return string(rune('A'+(i-1)%26)) + string(rune('0'+(i-1)/26))
+}
+
+// classesOf collects the multiset of class aliases in a pattern.
+func classesOf(p PatternExpr) []string {
+	var out []string
+	var walk func(PatternExpr)
+	walk = func(x PatternExpr) {
+		switch n := x.(type) {
+		case *Class:
+			out = append(out, n.Alias)
+		case *Seq:
+			for _, it := range n.Items {
+				walk(it)
+			}
+		case *Conj:
+			for _, it := range n.Items {
+				walk(it)
+			}
+		case *Disj:
+			for _, it := range n.Items {
+				walk(it)
+			}
+		case *Not:
+			walk(n.X)
+		case *Kleene:
+			walk(n.X)
+		}
+	}
+	walk(p)
+	sort.Strings(out)
+	return out
+}
+
+// countOps counts operator nodes (Seq/Conj/Disj items beyond the first,
+// negations, closures) — the §5.2.1 acceptance metric.
+func countOps(p PatternExpr) int {
+	switch n := p.(type) {
+	case *Class:
+		return 0
+	case *Seq:
+		c := len(n.Items) - 1
+		for _, it := range n.Items {
+			c += countOps(it)
+		}
+		return c
+	case *Conj:
+		c := len(n.Items) - 1
+		for _, it := range n.Items {
+			c += countOps(it)
+		}
+		return c
+	case *Disj:
+		c := len(n.Items) - 1
+		for _, it := range n.Items {
+			c += countOps(it)
+		}
+		return c
+	case *Not:
+		return 1 + countOps(n.X)
+	case *Kleene:
+		return 1 + countOps(n.X)
+	}
+	return 0
+}
+
+// Property: Normalize preserves the class multiset (rewrites reorder and
+// regroup but never add or drop event classes).
+func TestNormalizePreservesClasses(t *testing.T) {
+	f := func(g genPattern) bool {
+		before := classesOf(g.P)
+		after := classesOf(Normalize(g.P))
+		return reflect.DeepEqual(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize never increases the operator count (§5.2.1 accepts a
+// rewrite only when it shrinks the expression or cheapens an operator).
+func TestNormalizeNeverGrows(t *testing.T) {
+	f := func(g genPattern) bool {
+		return countOps(Normalize(g.P)) <= countOps(g.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotentQuick(t *testing.T) {
+	f := func(g genPattern) bool {
+		n1 := Normalize(g.P)
+		return Normalize(n1).String() == n1.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalized output contains no double negation and no
+// conjunction whose items are all negations (De Morgan applied).
+func TestNormalizeStructuralInvariants(t *testing.T) {
+	var check func(p PatternExpr) bool
+	check = func(p PatternExpr) bool {
+		switch n := p.(type) {
+		case *Not:
+			if _, dbl := n.X.(*Not); dbl {
+				return false
+			}
+			return check(n.X)
+		case *Conj:
+			allNeg := true
+			for _, it := range n.Items {
+				if !check(it) {
+					return false
+				}
+				if _, isNeg := it.(*Not); !isNeg {
+					allNeg = false
+				}
+			}
+			return !allNeg
+		case *Seq:
+			for _, it := range n.Items {
+				if _, nested := it.(*Seq); nested {
+					return false
+				}
+				if !check(it) {
+					return false
+				}
+			}
+			return true
+		case *Disj:
+			for _, it := range n.Items {
+				if _, nested := it.(*Disj); nested {
+					return false
+				}
+				if !check(it) {
+					return false
+				}
+			}
+			return true
+		case *Kleene:
+			return check(n.X)
+		}
+		return true
+	}
+	f := func(g genPattern) bool { return check(Normalize(g.P)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

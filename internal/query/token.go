@@ -1,0 +1,91 @@
+package query
+
+import "fmt"
+
+// TokKind identifies a lexical token class.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// keywords
+	TokPattern
+	TokWhere
+	TokAnd
+	TokOr
+	TokNot // NOT keyword (alternative to '!')
+	TokWithin
+	TokReturn
+	TokAs
+
+	// punctuation / operators
+	TokSemi   // ;
+	TokBang   // !
+	TokAmp    // &
+	TokPipe   // |
+	TokLParen // (
+	TokRParen // )
+	TokComma  // ,
+	TokDot    // .
+	TokCaret  // ^
+	TokStar   // *
+	TokPlus   // +
+	TokMinus  // -
+	TokSlash  // /
+	TokEq     // =
+	TokNeq    // !=
+	TokLt     // <
+	TokLte    // <=
+	TokGt     // >
+	TokGte    // >=
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokPattern: "PATTERN", TokWhere: "WHERE", TokAnd: "AND", TokOr: "OR", TokNot: "NOT",
+	TokWithin: "WITHIN", TokReturn: "RETURN", TokAs: "AS",
+	TokSemi: ";", TokBang: "!", TokAmp: "&", TokPipe: "|", TokLParen: "(", TokRParen: ")",
+	TokComma: ",", TokDot: ".", TokCaret: "^", TokStar: "*", TokPlus: "+", TokMinus: "-",
+	TokSlash: "/", TokEq: "=", TokNeq: "!=", TokLt: "<", TokLte: "<=", TokGt: ">", TokGte: ">=",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string  // raw text for idents/strings
+	Num  float64 // value for numbers
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokString:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number(%g)", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// keywords maps upper-cased identifiers to keyword tokens.
+var keywords = map[string]TokKind{
+	"PATTERN": TokPattern,
+	"WHERE":   TokWhere,
+	"AND":     TokAnd,
+	"OR":      TokOr,
+	"NOT":     TokNot,
+	"WITHIN":  TokWithin,
+	"RETURN":  TokReturn,
+	"AS":      TokAs,
+}

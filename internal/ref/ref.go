@@ -1,0 +1,544 @@
+// Package ref is a brute-force reference matcher: it enumerates every
+// combination of buffered events and checks the query semantics directly,
+// with no buffers, plans or incremental state. It is exponential and only
+// suitable for tests, where it serves as the oracle for differential
+// testing of the tree engine, every plan shape, the adaptive engine and the
+// NFA baseline.
+package ref
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// Match is one canonical match: the events bound per class.
+type Match struct {
+	Bound map[int][]*event.Event
+}
+
+// Key renders a canonical identity string: class:seq lists in class order.
+func (m *Match) Key(nclasses int) string {
+	var sb strings.Builder
+	for c := 0; c < nclasses; c++ {
+		if c > 0 {
+			sb.WriteByte('|')
+		}
+		evs := m.Bound[c]
+		for i, e := range evs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", e.Seq)
+		}
+	}
+	return sb.String()
+}
+
+// Find returns the canonical keys of every match of q in events (sorted).
+// Negated classes are excluded from keys (they are not part of the output).
+func Find(q *query.Query, events []*event.Event) ([]string, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("ref: query not analyzed")
+	}
+	m, err := newMatcher(q)
+	if err != nil {
+		return nil, err
+	}
+	// per-class candidate events after single-class filters
+	perClass := make([][]*event.Event, in.NumClasses())
+	for _, e := range events {
+		for c := range in.Classes {
+			if m.classFilter[c] == nil || m.classFilter[c](expr.EventEnv{Class: c, E: e}) {
+				perClass[c] = append(perClass[c], e)
+			}
+		}
+	}
+	var keys []string
+	m.enumerate(perClass, 0, &matchState{bound: map[int][]*event.Event{}}, func(ms *matchState) {
+		m.matchesOf(perClass, ms, func(full *matchState) {
+			mm := &Match{Bound: map[int][]*event.Event{}}
+			for c, evs := range full.bound {
+				if !in.Classes[c].Negated {
+					mm.Bound[c] = evs
+				}
+			}
+			keys = append(keys, mm.Key(in.NumClasses()))
+		})
+	})
+	sort.Strings(keys)
+	return keys, nil
+}
+
+type matcher struct {
+	q           *query.Query
+	in          *query.Info
+	window      int64
+	classFilter []expr.Predicate
+	multiPreds  []compiledPred
+	negPreds    map[int][]compiledPred // by term index
+	aggPreds    []compiledPred
+	perEvent    map[int][]compiledPred // Kleene per-event preds by term
+	disjClasses map[int]bool
+}
+
+type compiledPred struct {
+	p       expr.Predicate
+	classes []int
+}
+
+func newMatcher(q *query.Query) (*matcher, error) {
+	in := q.Info
+	m := &matcher{q: q, in: in, window: q.Within,
+		classFilter: make([]expr.Predicate, in.NumClasses()),
+		negPreds:    map[int][]compiledPred{},
+		perEvent:    map[int][]compiledPred{},
+		disjClasses: map[int]bool{},
+	}
+	for _, t := range in.Terms {
+		if t.Kind == query.TermDisj {
+			for _, c := range t.Classes {
+				m.disjClasses[c] = true
+			}
+		}
+	}
+	negTermOf := func(cls int) int {
+		for ti, t := range in.Terms {
+			if t.Kind == query.TermNeg {
+				for _, c := range t.Classes {
+					if c == cls {
+						return ti
+					}
+				}
+			}
+		}
+		return -1
+	}
+	kleeneTermOf := func(cls int) int {
+		for ti, t := range in.Terms {
+			if t.Kind == query.TermKleene && t.Classes[0] == cls {
+				return ti
+			}
+		}
+		return -1
+	}
+	for _, pi := range in.Preds {
+		p, err := expr.CompilePred(pi.Cmp)
+		if err != nil {
+			return nil, err
+		}
+		cp := compiledPred{p: p, classes: pi.Classes}
+		switch {
+		case pi.Single() && !pi.HasAgg:
+			c := pi.Classes[0]
+			prev := m.classFilter[c]
+			if prev == nil {
+				m.classFilter[c] = p
+			} else {
+				pp := p
+				m.classFilter[c] = func(env expr.Env) bool { return prev(env) && pp(env) }
+			}
+		case pi.HasAgg:
+			m.aggPreds = append(m.aggPreds, cp)
+		default:
+			// negation predicate?
+			negTerm := -1
+			for _, c := range pi.Classes {
+				if t := negTermOf(c); t >= 0 {
+					negTerm = t
+				}
+			}
+			if negTerm >= 0 {
+				m.negPreds[negTerm] = append(m.negPreds[negTerm], cp)
+				continue
+			}
+			// Kleene per-event predicate?
+			kTerm := -1
+			for _, c := range pi.Classes {
+				if t := kleeneTermOf(c); t >= 0 {
+					kTerm = t
+				}
+			}
+			if kTerm >= 0 {
+				m.perEvent[kTerm] = append(m.perEvent[kTerm], cp)
+				continue
+			}
+			m.multiPreds = append(m.multiPreds, cp)
+		}
+	}
+	return m, nil
+}
+
+// matchState carries a partial assignment during enumeration.
+type matchState struct {
+	bound map[int][]*event.Event
+}
+
+func (ms *matchState) clone() *matchState {
+	n := &matchState{bound: make(map[int][]*event.Event, len(ms.bound))}
+	for k, v := range ms.bound {
+		n.bound[k] = v
+	}
+	return n
+}
+
+type refEnv struct {
+	bound map[int][]*event.Event
+}
+
+func (r refEnv) Event(class int) *event.Event {
+	if evs := r.bound[class]; len(evs) == 1 {
+		return evs[0]
+	}
+	return nil
+}
+func (r refEnv) Group(class int) []*event.Event { return r.bound[class] }
+
+// prevEnd returns the latest timestamp bound by terms before ti (skipping
+// negation terms), or false when none.
+func (m *matcher) prevEnd(ms *matchState, ti int) (int64, bool) {
+	var out int64
+	found := false
+	for i := 0; i < ti; i++ {
+		t := m.in.Terms[i]
+		if t.Kind == query.TermNeg {
+			continue
+		}
+		for _, c := range t.Classes {
+			for _, e := range ms.bound[c] {
+				if !found || e.Ts > out {
+					out = e.Ts
+				}
+				found = true
+			}
+		}
+	}
+	return out, found
+}
+
+// enumerate walks terms recursively, binding events.
+func (m *matcher) enumerate(perClass [][]*event.Event, ti int, ms *matchState, yield func(*matchState)) {
+	if ti == len(m.in.Terms) {
+		yield(ms)
+		return
+	}
+	t := m.in.Terms[ti]
+	pe, hasPrev := m.prevEnd(ms, ti)
+	after := func(e *event.Event) bool { return !hasPrev || e.Ts > pe }
+
+	switch t.Kind {
+	case query.TermNeg:
+		// handled in accept()
+		m.enumerate(perClass, ti+1, ms, yield)
+
+	case query.TermClass:
+		c := t.Classes[0]
+		for _, e := range perClass[c] {
+			if !after(e) {
+				continue
+			}
+			next := ms.clone()
+			next.bound[c] = []*event.Event{e}
+			m.enumerate(perClass, ti+1, next, yield)
+		}
+
+	case query.TermDisj:
+		for _, c := range t.Classes {
+			for _, e := range perClass[c] {
+				if !after(e) {
+					continue
+				}
+				next := ms.clone()
+				next.bound[c] = []*event.Event{e}
+				m.enumerate(perClass, ti+1, next, yield)
+			}
+		}
+
+	case query.TermConj:
+		// bind one event per class, all after the previous term
+		var rec func(i int, cur *matchState)
+		rec = func(i int, cur *matchState) {
+			if i == len(t.Classes) {
+				m.enumerate(perClass, ti+1, cur, yield)
+				return
+			}
+			c := t.Classes[i]
+			for _, e := range perClass[c] {
+				if !after(e) {
+					continue
+				}
+				next := cur.clone()
+				next.bound[c] = []*event.Event{e}
+				rec(i+1, next)
+			}
+		}
+		rec(0, ms)
+
+	case query.TermKleene:
+		// defer grouping until the next term binds (group range depends on
+		// it); enumerate the rest first, then fill groups in accept().
+		m.enumerate(perClass, ti+1, ms, yield)
+	}
+}
+
+// matchesOf yields every fully-expanded match (with Kleene groups bound).
+func (m *matcher) matchesOf(perClass [][]*event.Event, ms *matchState, yield func(*matchState)) {
+	m.expandKleene(perClass, ms, 0, func(full *matchState) {
+		if m.checkFinal(perClass, full) {
+			yield(full)
+		}
+	})
+}
+
+// expandKleene binds closure groups for every Kleene term.
+func (m *matcher) expandKleene(perClass [][]*event.Event, ms *matchState, ti int, yield func(*matchState)) {
+	if ti == len(m.in.Terms) {
+		yield(ms)
+		return
+	}
+	t := m.in.Terms[ti]
+	if t.Kind != query.TermKleene {
+		m.expandKleene(perClass, ms, ti+1, yield)
+		return
+	}
+	c := t.Classes[0]
+	lo, hi, ok := m.kleeneRange(ms, ti)
+	if !ok {
+		return
+	}
+	var eligible []*event.Event
+	for _, e := range perClass[c] {
+		if e.Ts <= lo || e.Ts >= hi {
+			continue
+		}
+		if !m.perEventOK(ms, ti, c, e) {
+			continue
+		}
+		eligible = append(eligible, e)
+	}
+	emit := func(group []*event.Event) {
+		next := ms.clone()
+		if len(group) > 0 {
+			next.bound[c] = group
+		}
+		m.expandKleene(perClass, next, ti+1, yield)
+	}
+	switch t.Closure {
+	case query.ClosureCount:
+		for i := 0; i+t.Count <= len(eligible); i++ {
+			emit(eligible[i : i+t.Count])
+		}
+	case query.ClosurePlus:
+		if len(eligible) >= 1 {
+			emit(eligible)
+		}
+	default:
+		emit(eligible)
+	}
+}
+
+// kleeneRange computes the exclusive (lo, hi) timestamp bounds for closure
+// term ti given the bound anchors.
+func (m *matcher) kleeneRange(ms *matchState, ti int) (lo, hi int64, ok bool) {
+	pe, hasPrev := m.prevEnd(ms, ti)
+	// next non-neg bound term start
+	var ns int64
+	hasNext := false
+	for i := ti + 1; i < len(m.in.Terms); i++ {
+		t := m.in.Terms[i]
+		if t.Kind == query.TermNeg {
+			continue
+		}
+		for _, c := range t.Classes {
+			for _, e := range ms.bound[c] {
+				if !hasNext || e.Ts < ns {
+					ns = e.Ts
+				}
+				hasNext = true
+			}
+		}
+		if hasNext {
+			break
+		}
+	}
+	switch {
+	case hasPrev && hasNext:
+		return pe, ns, true
+	case !hasPrev && hasNext:
+		return ns - m.window - 1, ns, true // leading closure: window-bounded
+	case hasPrev && !hasNext:
+		return pe, pe + 1 + m.window, true // trailing; span check tightens later
+	default:
+		return 0, 0, false
+	}
+}
+
+// perEventOK evaluates the Kleene per-event predicates for one candidate
+// middle event against the bound anchors.
+func (m *matcher) perEventOK(ms *matchState, ti, cls int, e *event.Event) bool {
+	preds := m.perEvent[ti]
+	if len(preds) == 0 {
+		return true
+	}
+	env := refEnv{bound: map[int][]*event.Event{cls: {e}}}
+	for k, v := range ms.bound {
+		if k != cls {
+			env.bound[k] = v
+		}
+	}
+	for _, cp := range preds {
+		if !cp.p(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFinal applies window, value predicates, aggregates and negation.
+func (m *matcher) checkFinal(perClass [][]*event.Event, ms *matchState) bool {
+	in := m.in
+	// every non-negated class of non-optional terms must be bound
+	for _, t := range in.Terms {
+		switch t.Kind {
+		case query.TermNeg:
+			continue
+		case query.TermDisj:
+			any := false
+			for _, c := range t.Classes {
+				if len(ms.bound[c]) > 0 {
+					any = true
+				}
+			}
+			if !any {
+				return false
+			}
+		case query.TermKleene:
+			if t.Closure == query.ClosurePlus && len(ms.bound[t.Classes[0]]) == 0 {
+				return false
+			}
+			if t.Closure == query.ClosureCount && len(ms.bound[t.Classes[0]]) != t.Count {
+				return false
+			}
+		default:
+			for _, c := range t.Classes {
+				if len(ms.bound[c]) == 0 {
+					return false
+				}
+			}
+		}
+	}
+	// window over bound, non-negated events
+	var start, end int64
+	first := true
+	for c, evs := range ms.bound {
+		if in.Classes[c].Negated {
+			continue
+		}
+		for _, e := range evs {
+			if first || e.Ts < start {
+				start = e.Ts
+			}
+			if first || e.Ts > end {
+				end = e.Ts
+			}
+			first = false
+		}
+	}
+	if first || end-start > m.window {
+		return false
+	}
+	env := refEnv{bound: ms.bound}
+	// multi-class predicates (disjunction-tolerant: unbound alternatives
+	// pass)
+	for _, cp := range m.multiPreds {
+		skip := false
+		for _, c := range cp.classes {
+			if m.disjClasses[c] && len(ms.bound[c]) == 0 {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		if !cp.p(env) {
+			return false
+		}
+	}
+	for _, cp := range m.aggPreds {
+		if !cp.p(env) {
+			return false
+		}
+	}
+	// negation terms
+	for ti, t := range in.Terms {
+		if t.Kind != query.TermNeg {
+			continue
+		}
+		lo, hi := m.negRange(ms, ti, start, end)
+		for _, nc := range t.Classes {
+			for _, b := range perClass[nc] {
+				if b.Ts <= lo || b.Ts >= hi {
+					continue
+				}
+				if m.negOK(ms, ti, nc, b) {
+					return false // a negating event interleaves
+				}
+			}
+		}
+	}
+	return true
+}
+
+// negRange computes the exclusive (lo, hi) bounds of the forbidden range
+// for negation term ti.
+func (m *matcher) negRange(ms *matchState, ti int, start, end int64) (int64, int64) {
+	lo := end - m.window - 1 // leading: b.ts >= end - window negates
+	if pe, ok := m.prevEnd(ms, ti); ok {
+		lo = pe
+	}
+	hi := start + m.window + 1 // trailing: b.ts <= start + window negates
+	for i := ti + 1; i < len(m.in.Terms); i++ {
+		t := m.in.Terms[i]
+		if t.Kind == query.TermNeg {
+			continue
+		}
+		found := false
+		for _, c := range t.Classes {
+			for _, e := range ms.bound[c] {
+				if e.Ts < hi {
+					hi = e.Ts
+				}
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	return lo, hi
+}
+
+// negOK evaluates the negation predicates for candidate b.
+func (m *matcher) negOK(ms *matchState, ti, negClass int, b *event.Event) bool {
+	preds := m.negPreds[ti]
+	if len(preds) == 0 {
+		return true
+	}
+	env := refEnv{bound: map[int][]*event.Event{negClass: {b}}}
+	for k, v := range ms.bound {
+		if k != negClass {
+			env.bound[k] = v
+		}
+	}
+	for _, cp := range preds {
+		if !cp.p(env) {
+			return false
+		}
+	}
+	return true
+}

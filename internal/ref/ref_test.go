@@ -1,0 +1,171 @@
+package ref
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+func stock(seq uint64, ts int64, name string, price float64) *event.Event {
+	return event.NewStock(seq, ts, int64(seq), name, price, float64(seq))
+}
+
+func find(t *testing.T, src string, events []*event.Event) []string {
+	t.Helper()
+	q := query.MustParse(src)
+	keys, err := Find(q, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+func TestFindSimpleSequence(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 10), stock(2, 2, "B", 10), stock(3, 3, "A", 10), stock(4, 4, "B", 10),
+	}
+	keys := find(t, "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	// (1,2), (1,4), (3,4)
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != "1|2" || keys[1] != "1|4" || keys[2] != "3|4" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestFindWindow(t *testing.T) {
+	events := []*event.Event{stock(1, 0, "A", 1), stock(2, 11, "B", 1)}
+	keys := find(t, "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	if len(keys) != 0 {
+		t.Errorf("out-of-window matched: %v", keys)
+	}
+}
+
+func TestFindStrictOrder(t *testing.T) {
+	events := []*event.Event{stock(1, 5, "A", 1), stock(2, 5, "B", 1)}
+	keys := find(t, "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	if len(keys) != 0 {
+		t.Errorf("simultaneous events matched a sequence: %v", keys)
+	}
+	// conjunction accepts them
+	keys = find(t, "PATTERN A&B WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	if len(keys) != 1 {
+		t.Errorf("conjunction keys = %v", keys)
+	}
+}
+
+func TestFindNegation(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 1), stock(2, 2, "B", 1), stock(3, 3, "C", 1),
+		stock(4, 4, "A", 1), stock(5, 5, "C", 1),
+	}
+	keys := find(t, "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 10", events)
+	// a1..c3 negated by b2; a1..c5 negated; a4..c5 clean
+	if len(keys) != 1 || keys[0] != "4||5" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestFindNegationPredicate(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 1), stock(2, 2, "B", 100), stock(3, 3, "C", 50),
+	}
+	// only B cheaper than C negates; B@100 does not
+	keys := find(t, `PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND B.price < C.price WITHIN 10`, events)
+	if len(keys) != 1 {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestFindKleeneCount(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 1), stock(2, 2, "B", 1), stock(3, 3, "B", 1),
+		stock(4, 4, "B", 1), stock(5, 5, "C", 1),
+	}
+	keys := find(t, "PATTERN A;B^2;C WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 10", events)
+	// windows (2,3) and (3,4)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != "1|2,3|5" || keys[1] != "1|3,4|5" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestFindKleeneStarEmpty(t *testing.T) {
+	events := []*event.Event{stock(1, 1, "A", 1), stock(2, 2, "C", 1)}
+	keys := find(t, "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 10", events)
+	if len(keys) != 1 || keys[0] != "1||2" {
+		t.Errorf("star keys = %v", keys)
+	}
+	keys = find(t, "PATTERN A;B+;C WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 10", events)
+	if len(keys) != 0 {
+		t.Errorf("plus keys = %v", keys)
+	}
+}
+
+func TestFindAggregate(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 1), stock(10, 2, "B", 1), stock(20, 3, "B", 1), stock(4, 4, "C", 1),
+	}
+	// sum(B.volume) = seq sums = 30
+	keys := find(t, `PATTERN A;B+;C WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND sum(B.volume) > 25 WITHIN 10`, events)
+	if len(keys) != 1 {
+		t.Errorf("agg keys = %v", keys)
+	}
+	keys = find(t, `PATTERN A;B+;C WHERE A.name='A' AND B.name='B' AND C.name='C'
+		AND sum(B.volume) > 35 WITHIN 10`, events)
+	if len(keys) != 0 {
+		t.Errorf("agg keys = %v", keys)
+	}
+}
+
+func TestFindDisjunction(t *testing.T) {
+	events := []*event.Event{stock(1, 1, "A", 1), stock(2, 2, "B", 1), stock(3, 3, "C", 1)}
+	keys := find(t, "PATTERN (A|B);C WHERE A.name='A' AND B.name='B' AND C.name='C' WITHIN 10", events)
+	if len(keys) != 2 {
+		t.Errorf("disj keys = %v", keys)
+	}
+}
+
+func TestFindTrailingNegation(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "A", 1), stock(2, 3, "B", 1),
+		stock(3, 20, "A", 1), // no B within window after it
+	}
+	keys := find(t, "PATTERN A;!B WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	if len(keys) != 1 || keys[0] != "3|" {
+		t.Errorf("trailing neg keys = %v", keys)
+	}
+}
+
+func TestFindLeadingNegation(t *testing.T) {
+	events := []*event.Event{
+		stock(1, 1, "B", 1), stock(2, 3, "A", 1), // negated: B within 10 before
+		stock(3, 30, "A", 1), // clean
+	}
+	keys := find(t, "PATTERN !B;A WHERE A.name='A' AND B.name='B' WITHIN 10", events)
+	if len(keys) != 1 || keys[0] != "|3" {
+		t.Errorf("leading neg keys = %v", keys)
+	}
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find(&query.Query{}, nil); err == nil {
+		t.Error("unanalyzed query accepted")
+	}
+}
+
+func TestMatchKey(t *testing.T) {
+	m := &Match{Bound: map[int][]*event.Event{
+		0: {stock(7, 1, "A", 1)},
+		2: {stock(8, 2, "C", 1), stock(9, 3, "C", 1)},
+	}}
+	if got := m.Key(3); got != "7||8,9" {
+		t.Errorf("key = %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats maintains the running statistics plan adaptation needs
+// (§5.3): windowed averages of per-class event rates, the selectivity of
+// pushed-down single-class predicates, and sampled selectivities of
+// multi-class predicates, gathered by sampling observers attached to the
+// plan's leaf buffers.
+package stats
+
+import (
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+const reservoirSize = 64
+
+// Collector accumulates statistics for one query's classes and predicates.
+// It is not safe for concurrent use; the engine drives it from its single
+// processing goroutine.
+type Collector struct {
+	in          *query.Info
+	bucketWidth int64
+	nbuckets    int
+	classes     []*classStats
+	preds       []predStats
+	rng         *rand.Rand
+	samplePairs int
+}
+
+type classStats struct {
+	buckets []bucket
+	seen    uint64
+	passed  uint64
+	// resv is a reservoir of passed events; it restarts every epoch
+	// (2x the stats window) so selectivity estimates track the current
+	// stream rather than its whole history.
+	resv       []*event.Event
+	resvSeen   uint64
+	epochStart int64
+	epochInit  bool
+}
+
+type bucket struct {
+	start    int64
+	arrivals uint64
+	valid    bool
+}
+
+type predStats struct {
+	pred    expr.Predicate
+	classes []int
+	ok      bool
+}
+
+// NewCollector builds a collector with the given rate-averaging bucket
+// width (ticks) and bucket count. A typical choice is bucketWidth =
+// window/2 and 8 buckets.
+func NewCollector(in *query.Info, bucketWidth int64, nbuckets int, seed int64) *Collector {
+	if bucketWidth <= 0 {
+		bucketWidth = 1
+	}
+	if nbuckets < 2 {
+		nbuckets = 2
+	}
+	c := &Collector{
+		in: in, bucketWidth: bucketWidth, nbuckets: nbuckets,
+		rng: rand.New(rand.NewSource(seed)), samplePairs: 256,
+	}
+	for range in.Classes {
+		c.classes = append(c.classes, &classStats{buckets: make([]bucket, nbuckets)})
+	}
+	for _, pi := range in.Preds {
+		ps := predStats{classes: pi.Classes}
+		if !pi.Single() && !pi.HasAgg {
+			if p, err := expr.CompilePred(pi.Cmp); err == nil {
+				ps.pred, ps.ok = p, true
+			}
+		}
+		c.preds = append(c.preds, ps)
+	}
+	return c
+}
+
+// Observe records one arrival for class cls; passed reports whether the
+// event survived the pushed-down single-class filter. Wire it as the leaf
+// observer.
+func (c *Collector) Observe(cls int, e *event.Event, passed bool) {
+	cs := c.classes[cls]
+	cs.seen++
+	bi := (e.Ts / c.bucketWidth) % int64(c.nbuckets)
+	b := &cs.buckets[bi]
+	if bstart := e.Ts - e.Ts%c.bucketWidth; !b.valid || b.start != bstart {
+		b.start, b.arrivals, b.valid = bstart, 0, true
+	}
+	b.arrivals++
+	if passed {
+		cs.passed++
+		epoch := 2 * c.bucketWidth * int64(c.nbuckets)
+		if !cs.epochInit || e.Ts-cs.epochStart > epoch {
+			cs.resv = cs.resv[:0]
+			cs.resvSeen = 0
+			cs.epochStart = e.Ts
+			cs.epochInit = true
+		}
+		// reservoir sampling over this epoch's passed events
+		cs.resvSeen++
+		if len(cs.resv) < reservoirSize {
+			cs.resv = append(cs.resv, e)
+		} else if j := c.rng.Int63n(int64(cs.resvSeen)); j < reservoirSize {
+			cs.resv[j] = e
+		}
+	}
+}
+
+// Rate returns the windowed-average arrival rate (events/tick) of class
+// cls, counting only complete-ish buckets.
+func (c *Collector) Rate(cls int, now int64) float64 {
+	cs := c.classes[cls]
+	var arrivals uint64
+	var span int64
+	for _, b := range cs.buckets {
+		if !b.valid {
+			continue
+		}
+		if now-b.start > int64(c.nbuckets)*c.bucketWidth {
+			continue // stale bucket not yet overwritten
+		}
+		arrivals += b.arrivals
+		if now >= b.start+c.bucketWidth {
+			span += c.bucketWidth
+		} else {
+			span += now - b.start + 1
+		}
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(arrivals) / float64(span)
+}
+
+// SingleSel returns the observed selectivity of the class's pushed-down
+// filter (1 when nothing has been filtered or seen).
+func (c *Collector) SingleSel(cls int) float64 {
+	cs := c.classes[cls]
+	if cs.seen == 0 {
+		return 1
+	}
+	return float64(cs.passed) / float64(cs.seen)
+}
+
+// PredSel estimates the value selectivity of multi-class predicate i by
+// evaluating it on sampled combinations from the class reservoirs. It
+// returns -1 (unknown) when a reservoir is empty or the predicate is not
+// samplable (aggregates).
+func (c *Collector) PredSel(i int) float64 {
+	ps := c.preds[i]
+	if !ps.ok {
+		return -1
+	}
+	for _, cls := range ps.classes {
+		if len(c.classes[cls].resv) == 0 {
+			return -1
+		}
+	}
+	hits := 0
+	env := sampleEnv{events: make(map[int]*event.Event, len(ps.classes))}
+	for s := 0; s < c.samplePairs; s++ {
+		for _, cls := range ps.classes {
+			r := c.classes[cls].resv
+			env.events[cls] = r[c.rng.Intn(len(r))]
+		}
+		if ps.pred(env) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(c.samplePairs)
+}
+
+// Snapshot assembles a cost.Stats from the current estimates.
+func (c *Collector) Snapshot(window, now int64) *cost.Stats {
+	st := cost.UniformStats(c.in, window, 0)
+	for i := range c.in.Classes {
+		st.Rate[i] = c.Rate(i, now)
+		st.SingleSel[i] = c.SingleSel(i)
+	}
+	for i := range c.in.Preds {
+		st.PredSel[i] = c.PredSel(i)
+	}
+	return st
+}
+
+// sampleEnv binds one sampled event per class.
+type sampleEnv struct {
+	events map[int]*event.Event
+}
+
+func (s sampleEnv) Event(class int) *event.Event { return s.events[class] }
+func (s sampleEnv) Group(class int) []*event.Event {
+	if e := s.events[class]; e != nil {
+		return []*event.Event{e}
+	}
+	return nil
+}
+
+// Drifted reports whether any statistic of cur differs from base by more
+// than threshold t (relative), considering only statistics both sides know.
+// This is the trigger condition for re-running the plan search (§5.3).
+func Drifted(base, cur *cost.Stats, t float64) bool {
+	rel := func(a, b float64) bool {
+		if a <= 0 && b <= 0 {
+			return false
+		}
+		hi, lo := a, b
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if lo <= 0 {
+			return true
+		}
+		return (hi-lo)/lo > t
+	}
+	for i := range base.Rate {
+		if rel(base.Rate[i], cur.Rate[i]) {
+			return true
+		}
+	}
+	for i := range base.SingleSel {
+		if rel(base.SingleSel[i], cur.SingleSel[i]) {
+			return true
+		}
+	}
+	for i := range base.PredSel {
+		if base.PredSel[i] > 0 && cur.PredSel[i] > 0 && rel(base.PredSel[i], cur.PredSel[i]) {
+			return true
+		}
+	}
+	return false
+}

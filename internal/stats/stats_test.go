@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+func collector(t *testing.T, src string) (*Collector, *query.Query) {
+	t.Helper()
+	q := query.MustParse(src)
+	return NewCollector(q.Info, q.Within/2, 8, 1), q
+}
+
+func TestRateEstimation(t *testing.T) {
+	c, _ := collector(t, "PATTERN A;B WITHIN 100")
+	// one A event per 2 ticks for 400 ticks
+	for ts := int64(0); ts < 400; ts += 2 {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 1, 1), true)
+	}
+	got := c.Rate(0, 399)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Errorf("rate = %v, want ~0.5", got)
+	}
+	// class 1 saw nothing
+	if r := c.Rate(1, 399); r != 0 {
+		t.Errorf("empty class rate = %v", r)
+	}
+}
+
+func TestRateTracksChange(t *testing.T) {
+	c, _ := collector(t, "PATTERN A;B WITHIN 100")
+	// dense phase then sparse phase; rate estimate must drop
+	for ts := int64(0); ts < 400; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 1, 1), true)
+	}
+	dense := c.Rate(0, 399)
+	for ts := int64(400); ts < 800; ts += 10 {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 1, 1), true)
+	}
+	sparse := c.Rate(0, 799)
+	if sparse >= dense/2 {
+		t.Errorf("rate did not track change: dense=%v sparse=%v", dense, sparse)
+	}
+}
+
+func TestSingleSelectivity(t *testing.T) {
+	c, _ := collector(t, "PATTERN A;B WHERE A.price > 50 WITHIN 100")
+	for ts := int64(0); ts < 100; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", float64(ts), 1), ts >= 75)
+	}
+	if got := c.SingleSel(0); math.Abs(got-0.25) > 0.01 {
+		t.Errorf("single sel = %v, want 0.25", got)
+	}
+	if got := c.SingleSel(1); got != 1 {
+		t.Errorf("unseen class sel = %v, want 1", got)
+	}
+}
+
+func TestPredSelEstimation(t *testing.T) {
+	c, q := collector(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	_ = q
+	// A prices uniform over [0,100); B pinned at 75: true sel = 0.25
+	for ts := int64(0); ts < 1000; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", float64(ts%100), 1), true)
+		c.Observe(1, event.NewStock(uint64(ts), ts, 0, "B", 75, 1), true)
+	}
+	got := c.PredSel(0)
+	if math.Abs(got-0.25) > 0.1 {
+		t.Errorf("pred sel = %v, want ~0.25", got)
+	}
+}
+
+func TestPredSelUnknownWhenEmpty(t *testing.T) {
+	c, _ := collector(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	if got := c.PredSel(0); got != -1 {
+		t.Errorf("empty reservoir sel = %v, want -1", got)
+	}
+}
+
+func TestPredSelTracksDrift(t *testing.T) {
+	c, _ := collector(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	// phase 1: predicate almost always true
+	for ts := int64(0); ts < 2000; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 90, 1), true)
+		c.Observe(1, event.NewStock(uint64(ts), ts, 0, "B", 10, 1), true)
+	}
+	high := c.PredSel(0)
+	// phase 2: predicate almost always false; epoch-based reservoirs must
+	// flush the stale samples
+	for ts := int64(2000); ts < 4000; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 10, 1), true)
+		c.Observe(1, event.NewStock(uint64(ts), ts, 0, "B", 90, 1), true)
+	}
+	low := c.PredSel(0)
+	if high < 0.9 || low > 0.1 {
+		t.Errorf("selectivity drift not tracked: high=%v low=%v", high, low)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c, q := collector(t, "PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	for ts := int64(0); ts < 500; ts++ {
+		c.Observe(0, event.NewStock(uint64(ts), ts, 0, "A", 50, 1), ts%2 == 0)
+		c.Observe(1, event.NewStock(uint64(ts), ts, 0, "B", 25, 1), true)
+	}
+	st := c.Snapshot(q.Within, 499)
+	if st.Rate[0] <= 0 || st.Rate[1] <= 0 {
+		t.Errorf("snapshot rates: %v", st.Rate)
+	}
+	if math.Abs(st.SingleSel[0]-0.5) > 0.01 {
+		t.Errorf("snapshot single sel = %v", st.SingleSel[0])
+	}
+	if st.PredSel[0] < 0.9 { // A=50 > B=25 always
+		t.Errorf("snapshot pred sel = %v", st.PredSel[0])
+	}
+}
+
+func TestDrifted(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WHERE A.price > B.price WITHIN 100")
+	base := cost.UniformStats(q.Info, q.Within, 1)
+	same := cost.UniformStats(q.Info, q.Within, 1)
+	if Drifted(base, same, 0.5) {
+		t.Error("identical stats drifted")
+	}
+	faster := cost.UniformStats(q.Info, q.Within, 2)
+	if !Drifted(base, faster, 0.5) {
+		t.Error("2x rate change not detected at t=0.5")
+	}
+	slight := cost.UniformStats(q.Info, q.Within, 1.2)
+	if Drifted(base, slight, 0.5) {
+		t.Error("1.2x change flagged at t=0.5")
+	}
+	// selectivity drift
+	selChanged := cost.UniformStats(q.Info, q.Within, 1)
+	base.PredSel[0], selChanged.PredSel[0] = 0.5, 0.05
+	if !Drifted(base, selChanged, 0.5) {
+		t.Error("10x selectivity change not detected")
+	}
+	// unknown selectivities are ignored
+	unk := cost.UniformStats(q.Info, q.Within, 1)
+	unk.PredSel[0] = -1
+	if Drifted(base, unk, 0.5) {
+		t.Error("unknown selectivity treated as drift")
+	}
+	// zero -> nonzero rate counts as drift
+	zero := cost.UniformStats(q.Info, q.Within, 0)
+	if !Drifted(zero, faster, 0.5) {
+		t.Error("zero->nonzero rate not detected")
+	}
+}
+
+func TestCollectorDefaultsClamped(t *testing.T) {
+	q := query.MustParse("PATTERN A;B WITHIN 100")
+	c := NewCollector(q.Info, 0, 0, 1) // degenerate params clamp
+	c.Observe(0, event.NewStock(1, 1, 0, "A", 1, 1), true)
+	if c.Rate(0, 1) <= 0 {
+		t.Error("clamped collector unusable")
+	}
+}

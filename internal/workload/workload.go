@@ -1,0 +1,188 @@
+// Package workload generates the evaluation inputs of §6: synthetic stock
+// streams with controlled relative event rates and multi-class predicate
+// selectivities (§6.1), and a synthetic web-access log standing in for the
+// MIT DB-group web server log of §6.5 (see DESIGN.md for the substitution
+// rationale).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+)
+
+// StockSpec configures the synthetic stock stream. One event is emitted
+// per tick; the event's symbol is drawn proportionally to Weights, which is
+// how the paper controls relative event rates (e.g. 1:100:100:100).
+//
+// Multi-class predicate selectivities are calibrated analytically: prices
+// default to uniform [0,100); fixing a symbol's price to 100*(1-s) makes
+// the predicate "X.price > Y.price" hold with probability s when X's price
+// is uniform (§6.1.1's selectivity knob).
+type StockSpec struct {
+	N       int
+	Seed    int64
+	Names   []string
+	Weights []float64
+	// FixedPrice pins a symbol's price (selectivity calibration).
+	FixedPrice map[string]float64
+	// StartTs is the first timestamp (default 0).
+	StartTs int64
+}
+
+// SelectivityPrice returns the fixed price that makes "X.price > Y.price"
+// hold with probability sel when X.price is uniform in [0,100) and Y's
+// price is pinned to the returned value.
+func SelectivityPrice(sel float64) float64 { return 100 * (1 - sel) }
+
+// GenStocks produces the event stream. Sequence numbers are 1-based
+// arrival order; timestamps advance by one tick per event.
+func GenStocks(spec StockSpec) []*event.Event {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if len(spec.Weights) != len(spec.Names) {
+		panic(fmt.Sprintf("workload: %d weights for %d names", len(spec.Weights), len(spec.Names)))
+	}
+	total := 0.0
+	for _, w := range spec.Weights {
+		total += w
+	}
+	out := make([]*event.Event, 0, spec.N)
+	ts := spec.StartTs
+	for i := 0; i < spec.N; i++ {
+		r := rng.Float64() * total
+		idx := 0
+		for acc := spec.Weights[0]; r > acc && idx < len(spec.Names)-1; {
+			idx++
+			acc += spec.Weights[idx]
+		}
+		name := spec.Names[idx]
+		price, pinned := spec.FixedPrice[name]
+		if !pinned {
+			price = rng.Float64() * 100
+		}
+		out = append(out, event.NewStock(uint64(i+1), ts, int64(i), name, price, float64(1+rng.Intn(100))))
+		ts++
+	}
+	return out
+}
+
+// Concat concatenates stream segments, rewriting timestamps and sequence
+// numbers to stay monotonic (the Figure 14 adaptation input).
+func Concat(segments ...[]*event.Event) []*event.Event {
+	var out []*event.Event
+	var ts int64
+	var seq uint64
+	for _, seg := range segments {
+		if len(seg) == 0 {
+			continue
+		}
+		base := seg[0].Ts
+		for _, e := range seg {
+			seq++
+			cp := *e
+			cp.Seq = seq
+			cp.Ts = ts + (e.Ts - base)
+			out = append(out, &cp)
+		}
+		ts = out[len(out)-1].Ts + 1
+	}
+	return out
+}
+
+// WeblogSpec configures the synthetic web log. The real dataset (Table 4)
+// had 1.5M records over one month with 6,775 publication, 11,610 project
+// and 16,083 course accesses; the defaults reproduce those proportions at
+// any N.
+type WeblogSpec struct {
+	N    int
+	Seed int64
+	// SpanTicks is the total time covered (default one month of
+	// milliseconds, matching the 10-hour WITHIN window in ticks).
+	SpanTicks int64
+	// IPs is the client population (default 4096), with Zipf-ish skew.
+	IPs int
+	// Counts of the three interesting access classes (defaults scale the
+	// paper's Table 4 to N).
+	Publications, Projects, Courses int
+}
+
+// Table4 holds the paper's reference record counts.
+var Table4 = struct {
+	Total, Publications, Projects, Courses int
+}{1_500_000, 6775, 11610, 16083}
+
+// WeblogCounts reports the generated per-class record counts.
+type WeblogCounts struct {
+	Total, Publications, Projects, Courses int
+}
+
+func (c WeblogCounts) String() string {
+	return fmt.Sprintf("total=%d publication=%d project=%d courses=%d",
+		c.Total, c.Publications, c.Projects, c.Courses)
+}
+
+// GenWeblog produces the web-access stream and the per-class counts.
+func GenWeblog(spec WeblogSpec) ([]*event.Event, WeblogCounts) {
+	if spec.SpanTicks <= 0 {
+		spec.SpanTicks = 30 * 24 * 3_600_000 // one month in ms
+	}
+	if spec.IPs <= 0 {
+		spec.IPs = 4096
+	}
+	scale := func(ref int) int {
+		return int(float64(ref) * float64(spec.N) / float64(Table4.Total))
+	}
+	if spec.Publications == 0 {
+		spec.Publications = scale(Table4.Publications)
+	}
+	if spec.Projects == 0 {
+		spec.Projects = scale(Table4.Projects)
+	}
+	if spec.Courses == 0 {
+		spec.Courses = scale(Table4.Courses)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(spec.IPs-1))
+
+	// assign class labels to record positions without replacement
+	kind := make([]byte, spec.N)
+	assign := func(count int, label byte) {
+		for placed := 0; placed < count; {
+			p := rng.Intn(spec.N)
+			if kind[p] == 0 {
+				kind[p] = label
+				placed++
+			}
+		}
+	}
+	assign(spec.Publications, 'p')
+	assign(spec.Projects, 'j')
+	assign(spec.Courses, 'c')
+
+	out := make([]*event.Event, 0, spec.N)
+	counts := WeblogCounts{Total: spec.N}
+	ticksPer := float64(spec.SpanTicks) / float64(spec.N)
+	for i := 0; i < spec.N; i++ {
+		ts := int64(float64(i) * ticksPer)
+		ipID := zipf.Uint64()
+		ip := fmt.Sprintf("18.26.%d.%d", ipID/256%256, ipID%256)
+		var url, desc string
+		switch kind[i] {
+		case 'p':
+			url, desc = fmt.Sprintf("/publications/paper%d.pdf", rng.Intn(500)), "publication"
+			counts.Publications++
+		case 'j':
+			url, desc = fmt.Sprintf("/projects/project%d.html", rng.Intn(40)), "project"
+			counts.Projects++
+		case 'c':
+			url, desc = fmt.Sprintf("/courses/course%d/", rng.Intn(20)), "courses"
+			counts.Courses++
+		default:
+			url, desc = fmt.Sprintf("/misc/page%d.html", rng.Intn(10000)), "other"
+		}
+		e := event.NewWeblog(uint64(i+1), ts, ip, url, desc)
+		out = append(out, e)
+	}
+	return out, counts
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenStocksDeterministic(t *testing.T) {
+	spec := StockSpec{N: 100, Seed: 7, Names: []string{"A", "B"}, Weights: []float64{1, 1}}
+	a := GenStocks(spec)
+	b := GenStocks(spec)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Get("name") != b[i].Get("name") || a[i].Get("price") != b[i].Get("price") {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenStocksTimestampsAndSeqs(t *testing.T) {
+	evs := GenStocks(StockSpec{N: 50, Seed: 1, Names: []string{"X"}, Weights: []float64{1}, StartTs: 10})
+	for i, e := range evs {
+		if e.Ts != int64(10+i) {
+			t.Fatalf("ts[%d] = %d", i, e.Ts)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestGenStocksRateRatios(t *testing.T) {
+	evs := GenStocks(StockSpec{N: 50_000, Seed: 3,
+		Names: []string{"IBM", "Sun", "Oracle"}, Weights: []float64{1, 10, 10}})
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e.Get("name").S]++
+	}
+	// IBM should get ~1/21 of events
+	frac := float64(counts["IBM"]) / 50_000
+	if math.Abs(frac-1.0/21) > 0.01 {
+		t.Errorf("IBM fraction = %v, want ~%v", frac, 1.0/21)
+	}
+	if counts["Sun"] == 0 || counts["Oracle"] == 0 {
+		t.Error("missing symbols")
+	}
+}
+
+func TestSelectivityCalibration(t *testing.T) {
+	// P(IBM.price > Sun.price) should be ~sel when Sun is pinned
+	for _, sel := range []float64{1, 0.5, 0.25, 1.0 / 32} {
+		spec := StockSpec{N: 100_000, Seed: 5,
+			Names: []string{"IBM", "Sun"}, Weights: []float64{1, 1},
+			FixedPrice: map[string]float64{"Sun": SelectivityPrice(sel)}}
+		evs := GenStocks(spec)
+		pass, total := 0, 0
+		thresh := SelectivityPrice(sel)
+		for _, e := range evs {
+			if e.Get("name").S == "IBM" {
+				total++
+				if e.Get("price").F > thresh {
+					pass++
+				}
+			}
+		}
+		got := float64(pass) / float64(total)
+		if math.Abs(got-sel) > 0.02 {
+			t.Errorf("sel %v: measured %v", sel, got)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	s1 := GenStocks(StockSpec{N: 10, Seed: 1, Names: []string{"A"}, Weights: []float64{1}})
+	s2 := GenStocks(StockSpec{N: 10, Seed: 2, Names: []string{"B"}, Weights: []float64{1}})
+	all := Concat(s1, s2)
+	if len(all) != 20 {
+		t.Fatalf("len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Ts < all[i-1].Ts {
+			t.Fatalf("ts not monotonic at %d", i)
+		}
+		if all[i].Seq != all[i-1].Seq+1 {
+			t.Fatalf("seq not consecutive at %d", i)
+		}
+	}
+	// originals untouched
+	if s2[0].Seq != 1 {
+		t.Error("Concat mutated input")
+	}
+}
+
+func TestConcatEmptySegments(t *testing.T) {
+	s1 := GenStocks(StockSpec{N: 5, Seed: 1, Names: []string{"A"}, Weights: []float64{1}})
+	all := Concat(nil, s1, nil)
+	if len(all) != 5 {
+		t.Fatalf("len = %d", len(all))
+	}
+}
+
+func TestGenWeblogTable4Proportions(t *testing.T) {
+	evs, counts := GenWeblog(WeblogSpec{N: 150_000, Seed: 9})
+	if counts.Total != 150_000 || len(evs) != 150_000 {
+		t.Fatalf("total = %d", counts.Total)
+	}
+	// scaled Table 4: 677/1161/1608 at N=150k
+	if counts.Publications != 677 || counts.Projects != 1161 || counts.Courses != 1608 {
+		t.Errorf("counts = %v", counts)
+	}
+	// timestamps monotonic, span ~1 month
+	last := int64(-1)
+	for _, e := range evs {
+		if e.Ts < last {
+			t.Fatal("weblog timestamps not monotonic")
+		}
+		last = e.Ts
+	}
+	if last <= 0 || last > 30*24*3_600_000 {
+		t.Errorf("span end = %d", last)
+	}
+}
+
+func TestGenWeblogExactTable4AtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1.5M-record generation")
+	}
+	_, counts := GenWeblog(WeblogSpec{N: Table4.Total, Seed: 1})
+	if counts.Publications != Table4.Publications ||
+		counts.Projects != Table4.Projects ||
+		counts.Courses != Table4.Courses {
+		t.Errorf("full-scale counts %v != Table 4 %v", counts, Table4)
+	}
+}
+
+func TestGenWeblogFields(t *testing.T) {
+	evs, _ := GenWeblog(WeblogSpec{N: 1000, Seed: 2})
+	kinds := map[string]bool{}
+	for _, e := range evs {
+		kinds[e.Get("desc").S] = true
+		if e.Get("ip").S == "" || e.Get("url").S == "" {
+			t.Fatal("empty fields")
+		}
+	}
+	for _, k := range []string{"publication", "project", "courses", "other"} {
+		if !kinds[k] {
+			t.Errorf("kind %q missing", k)
+		}
+	}
+}

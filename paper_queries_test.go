@@ -1,0 +1,133 @@
+package zstream_test
+
+import (
+	"strings"
+	"testing"
+
+	zstream "repro"
+)
+
+// TestPaperQueryCorpus compiles and plans every query the paper presents
+// (Queries 1-8, adapted to concrete constants where the paper uses
+// symbolic x/y/v thresholds) and checks structural properties of each
+// compiled plan.
+func TestPaperQueryCorpus(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		classes int
+		explain []string // fragments that must appear in the plan
+	}{
+		{
+			name: "Query1-sequence-with-equality",
+			src: `PATTERN T1;T2;T3
+				WHERE T1.name = T3.name
+				AND T2.name = 'Google'
+				AND T1.price > 1.05 * T2.price
+				AND T3.price < 0.97 * T2.price
+				WITHIN 10 secs
+				RETURN T1, T2, T3`,
+			classes: 3,
+			explain: []string{"seq", "leaf"},
+		},
+		{
+			name: "Query2-negation",
+			src: `PATTERN T1; !T2; T3
+				WHERE T1.name = T3.name
+				AND T2.name = T3.name
+				AND T1.price > 100
+				AND T2.price < 100
+				AND T3.price > 120
+				WITHIN 10 secs
+				RETURN T1, T3`,
+			classes: 3,
+			explain: []string{"nseq"},
+		},
+		{
+			name: "Query3-kleene-aggregate",
+			src: `PATTERN T1;T2^5;T3
+				WHERE T1.name = T3.name
+				WHERE T2.name = 'Google'
+				AND sum(T2.volume) > 1000
+				AND T3.price > 1.2 * T1.price
+				WITHIN 10 secs
+				RETURN T1, sum(T2.volume), T3`,
+			classes: 3,
+			explain: []string{"kseq(^5)"},
+		},
+		{
+			name: "Query4-selectivity",
+			src: `PATTERN IBM;Sun;Oracle
+				WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle'
+				AND IBM.price > Sun.price
+				WITHIN 200 units`,
+			classes: 3,
+			explain: []string{"seq"},
+		},
+		{
+			name: "Query5-rates",
+			src: `PATTERN IBM;Sun;Oracle
+				WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle'
+				WITHIN 200 units`,
+			classes: 3,
+			explain: []string{"seq"},
+		},
+		{
+			name: "Query6-four-classes",
+			src: `PATTERN IBM;Sun;Oracle;Google
+				WHERE IBM.name='IBM' AND Sun.name='Sun'
+				AND Oracle.name='Oracle' AND Google.name='Google'
+				AND Oracle.price > Sun.price
+				AND Oracle.price > Google.price
+				WITHIN 100 units`,
+			classes: 4,
+			explain: []string{"seq"},
+		},
+		{
+			name: "Query7-negation-no-preds",
+			src: `PATTERN IBM; !Sun; Oracle
+				WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle'
+				WITHIN 200 units`,
+			classes: 3,
+			explain: []string{"nseq"},
+		},
+		{
+			name: "Query8-weblog",
+			src: `PATTERN P; J; C
+				WHERE P.desc='publication' AND J.desc='project' AND C.desc='courses'
+				AND P.ip = J.ip = C.ip
+				WITHIN 10 hours`,
+			classes: 3,
+			explain: []string{"seq"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			q, err := zstream.Compile(c.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if got := len(q.Classes()); got != c.classes {
+				t.Errorf("classes = %d, want %d", got, c.classes)
+			}
+			eng, err := zstream.NewEngine(q)
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			exp := eng.Explain()
+			for _, frag := range c.explain {
+				if !strings.Contains(exp, frag) {
+					t.Errorf("plan lacks %q:\n%s", frag, exp)
+				}
+			}
+			cost, shape, err := q.EstimateCost()
+			if err != nil || cost <= 0 || shape == "" {
+				t.Errorf("estimate: cost=%v shape=%q err=%v", cost, shape, err)
+			}
+			// every query must accept a basic event without panicking
+			eng.Process(zstream.NewStock(1, 1, 1, "IBM", 100, 100))
+			eng.Flush()
+		})
+	}
+}
