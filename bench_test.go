@@ -16,6 +16,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/query"
+	runtimepkg "repro/internal/runtime"
 	"repro/internal/workload"
 )
 
@@ -405,5 +406,132 @@ func BenchmarkMicroLeafInsert(b *testing.B) {
 		cp := *ev
 		cp.Ts = int64(i)
 		eng.Process(&cp)
+	}
+}
+
+// --- concurrent sharded runtime ---------------------------------------------
+
+// runtimeBenchQueries are four per-symbol monitoring patterns, all
+// partition-local over "name" (every predicate equates the symbol across
+// classes), the setting the sharded runtime is built for.
+func runtimeBenchQueries() []*query.Query {
+	srcs := []string{
+		`PATTERN Low; High
+		 WHERE Low.name = High.name AND High.price > Low.price + 90
+		 WITHIN 200 units`,
+		`PATTERN High; Low
+		 WHERE High.name = Low.name AND Low.price < High.price - 90
+		 WITHIN 200 units`,
+		`PATTERN T1; T2; T3
+		 WHERE T1.name = T2.name AND T2.name = T3.name
+		   AND T2.price > T1.price + 80 AND T3.price > T2.price
+		 WITHIN 200 units`,
+		`PATTERN A; B; C
+		 WHERE A.name = B.name AND B.name = C.name
+		   AND B.price < A.price - 80 AND C.price < B.price
+		 WITHIN 200 units`,
+	}
+	qs := make([]*query.Query, len(srcs))
+	for i, s := range srcs {
+		qs[i] = query.MustParse(s)
+	}
+	return qs
+}
+
+func runtimeBenchEvents(n int) []*event.Event {
+	names := make([]string, 16)
+	weights := make([]float64, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	return workload.GenStocks(workload.StockSpec{N: n, Seed: 31, Names: names, Weights: weights})
+}
+
+// benchSequentialEngines serves the queries the pre-runtime way: one
+// single-threaded engine per query, run one after another over the stream.
+// events/s is stream events per wall-clock second while serving ALL
+// queries (the capacity metric both sides share).
+func benchSequentialEngines(b *testing.B, qs []*query.Query, cfg core.Config, events []*event.Event) {
+	b.Helper()
+	b.ReportAllocs()
+	var matches uint64
+	for i := 0; i < b.N; i++ {
+		matches = 0
+		for _, q := range qs {
+			// Materialize matches like a serving system (and the runtime
+			// benchmark) must; a nil emit would skip building them.
+			eng, err := core.NewEngine(q, cfg, func(*core.Match) {})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ev := range events {
+				cp := *ev
+				eng.Process(&cp)
+			}
+			eng.Flush()
+			matches += eng.Snapshot().Matches
+		}
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(matches), "matches")
+}
+
+func benchRuntime(b *testing.B, qs []*query.Query, shards int, cfg core.Config, events []*event.Event) {
+	b.Helper()
+	b.ReportAllocs()
+	var matches uint64
+	for i := 0; i < b.N; i++ {
+		rt := runtimepkg.New(runtimepkg.Config{Shards: shards, PartitionBy: "name", BatchSize: 4096})
+		for _, q := range qs {
+			if _, err := rt.Register(q, cfg, func(*core.Match) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, ev := range events {
+			cp := *ev
+			if err := rt.Ingest(&cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		matches = rt.Stats().Engine.Matches
+	}
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(matches), "matches")
+}
+
+// BenchmarkRuntimeMultiQuery is the headline comparison: four queries
+// served by four sequential single-engine runs versus the sharded runtime
+// with four workers. Sharding wins even on one core — each shard engine
+// buffers only its partitions' events, so per-round assembly scans touch
+// a fraction of the window — and scales near-linearly with GOMAXPROCS on
+// top of that.
+func BenchmarkRuntimeMultiQuery(b *testing.B) {
+	qs := runtimeBenchQueries()
+	events := runtimeBenchEvents(20000)
+	cfg := core.Config{Strategy: core.StrategyOptimal, BatchSize: 256}
+	b.Run("sequential-4x1", func(b *testing.B) {
+		benchSequentialEngines(b, qs, cfg, events)
+	})
+	b.Run("runtime-4x4", func(b *testing.B) {
+		benchRuntime(b, qs, 4, cfg, events)
+	})
+}
+
+// BenchmarkRuntimeScaling sweeps the shard count; with GOMAXPROCS >= the
+// shard count, events/s should grow near-linearly until the core count or
+// the partition count caps it.
+func BenchmarkRuntimeScaling(b *testing.B) {
+	qs := runtimeBenchQueries()
+	events := runtimeBenchEvents(20000)
+	cfg := core.Config{Strategy: core.StrategyOptimal, BatchSize: 256}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchRuntime(b, qs, shards, cfg, events)
+		})
 	}
 }

@@ -1,15 +1,23 @@
-// Command zstream-cli runs one CEP query over a CSV event file and prints
+// Command zstream-cli runs CEP queries over a CSV event file and prints
 // the matches.
 //
 // The CSV's first row names the attributes; one column must be "ts" (the
 // event timestamp in ticks). Remaining columns become event attributes:
 // values parsing as numbers are numeric, everything else is a string.
 //
-// Usage:
+// Single-query mode (the default) runs one engine on one goroutine:
 //
 //	zstream-cli -query "PATTERN A;B WHERE A.name='x' ... WITHIN 100" events.csv
 //	zstream-cli -query-file q.txt -explain events.csv
 //	cat events.csv | zstream-cli -query "..." -
+//
+// Serve mode (-serve) hosts any number of queries on a concurrent sharded
+// runtime: -query/-query-file repeat, the stream is partitioned by
+// -partition-by across -shards workers, and matches from all queries are
+// printed in one merged end-time-ordered stream tagged q0, q1, ...:
+//
+//	zstream-cli -serve -shards 4 -partition-by name \
+//	    -query "PATTERN ..." -query-file more.txt events.csv
 package main
 
 import (
@@ -24,33 +32,52 @@ import (
 	zstream "repro"
 )
 
+// stringList collects repeated flag values.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, "; ") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
+	var queryTexts, queryFiles stringList
+	flag.Var(&queryTexts, "query", "query text (repeatable with -serve)")
+	flag.Var(&queryFiles, "query-file", "file containing a query (repeatable with -serve)")
 	var (
-		queryText = flag.String("query", "", "query text")
-		queryFile = flag.String("query-file", "", "file containing the query")
-		explain   = flag.Bool("explain", false, "print the physical plan before running")
-		adaptive  = flag.Bool("adaptive", false, "enable plan adaptation")
-		disorder  = flag.Int64("max-disorder", 0, "tolerated timestamp disorder in ticks")
-		quiet     = flag.Bool("quiet", false, "suppress per-match output; print only the summary")
+		explain  = flag.Bool("explain", false, "print the physical plan before running")
+		adaptive = flag.Bool("adaptive", false, "enable plan adaptation")
+		disorder = flag.Int64("max-disorder", 0, "tolerated timestamp disorder in ticks")
+		quiet    = flag.Bool("quiet", false, "suppress per-match output; print only the summary")
+		serve    = flag.Bool("serve", false, "run all queries on the concurrent sharded runtime")
+		shards   = flag.Int("shards", 0, "worker shards in serve mode (default GOMAXPROCS)")
+		partBy   = flag.String("partition-by", "name", "partition-key attribute in serve mode")
 	)
 	flag.Parse()
 
-	if *queryText == "" && *queryFile != "" {
-		b, err := os.ReadFile(*queryFile)
+	for _, f := range queryFiles {
+		b, err := os.ReadFile(f)
 		fail(err)
-		*queryText = string(b)
+		queryTexts = append(queryTexts, string(b))
 	}
-	if *queryText == "" {
+	if len(queryTexts) == 0 {
 		fmt.Fprintln(os.Stderr, "zstream-cli: -query or -query-file required")
+		os.Exit(2)
+	}
+	if !*serve && len(queryTexts) > 1 {
+		fmt.Fprintln(os.Stderr, "zstream-cli: multiple queries require -serve")
+		os.Exit(2)
+	}
+	if *serve && *disorder > 0 {
+		fmt.Fprintln(os.Stderr, "zstream-cli: -max-disorder is not supported with -serve (runtime ingest requires in-order timestamps)")
 		os.Exit(2)
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "zstream-cli: exactly one event file (or '-') required")
 		os.Exit(2)
 	}
-
-	q, err := zstream.Compile(*queryText)
-	fail(err)
 
 	var in io.Reader = os.Stdin
 	if flag.Arg(0) != "-" {
@@ -60,23 +87,35 @@ func main() {
 		in = f
 	}
 
+	if *serve {
+		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *explain)
+		return
+	}
+	runSingle(queryTexts[0], in, *explain, *adaptive, *disorder, *quiet)
+}
+
+// runSingle is the original one-query, one-goroutine mode.
+func runSingle(text string, in io.Reader, explain, adaptive bool, disorder int64, quiet bool) {
+	q, err := zstream.Compile(text)
+	fail(err)
+
 	matches := 0
 	opts := []zstream.Option{zstream.OnMatch(func(m *zstream.Match) {
 		matches++
-		if *quiet {
+		if quiet {
 			return
 		}
 		fmt.Print(renderMatch(m))
 	})}
-	if *adaptive {
+	if adaptive {
 		opts = append(opts, zstream.WithAdaptation())
 	}
-	if *disorder > 0 {
-		opts = append(opts, zstream.WithMaxDisorder(*disorder))
+	if disorder > 0 {
+		opts = append(opts, zstream.WithMaxDisorder(disorder))
 	}
 	eng, err := zstream.NewEngine(q, opts...)
 	fail(err)
-	if *explain {
+	if explain {
 		fmt.Fprint(os.Stderr, eng.Explain())
 	}
 
@@ -88,7 +127,66 @@ func main() {
 		n, matches, st.Rounds, float64(st.PeakMemBytes)/(1<<20))
 }
 
+// runServe hosts every query on one sharded runtime and prints the merged
+// end-time-ordered match stream, each line tagged with its query index.
+func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive, explain bool) {
+	var opts []zstream.RuntimeOption
+	if shards > 0 {
+		opts = append(opts, zstream.WithShards(shards))
+	}
+	opts = append(opts, zstream.WithPartitionBy(partBy))
+	rt := zstream.NewRuntime(opts...)
+
+	perQuery := make([]int, len(texts))
+	for i, text := range texts {
+		q, err := zstream.Compile(text)
+		fail(err)
+		i := i
+		qopts := []zstream.Option{zstream.OnMatch(func(m *zstream.Match) {
+			perQuery[i]++
+			if quiet {
+				return
+			}
+			fmt.Printf("q%d %s", i, renderMatch(m))
+		})}
+		if adaptive {
+			qopts = append(qopts, zstream.WithAdaptation())
+		}
+		if explain {
+			// Every shard engine of a query starts from the same plan;
+			// render it from a throwaway single engine.
+			eng, err := zstream.NewEngine(q)
+			fail(err)
+			fmt.Fprintf(os.Stderr, "q%d plan:\n%s", i, eng.Explain())
+		}
+		_, err = rt.Register(q, qopts...)
+		fail(err)
+	}
+
+	n, err := feedCSVFunc(in, rt.Ingest)
+	fail(err)
+	fail(rt.Close())
+
+	st := rt.Stats()
+	var counts []string
+	for i, c := range perQuery {
+		counts = append(counts, fmt.Sprintf("q%d=%d", i, c))
+	}
+	fmt.Fprintf(os.Stderr, "events=%d shards=%d queries=%d matches=%d (%s) rounds=%d peak-mem=%.2fMB\n",
+		n, st.Shards, len(texts), st.MatchesDelivered, strings.Join(counts, " "),
+		st.Engine.Rounds, float64(st.Engine.PeakMemBytes)/(1<<20))
+}
+
+// feedCSV parses the CSV stream into events and feeds them to eng.
 func feedCSV(eng *zstream.Engine, in io.Reader) (int, error) {
+	return feedCSVFunc(in, func(ev *zstream.Event) error {
+		eng.Process(ev)
+		return nil
+	})
+}
+
+// feedCSVFunc parses the CSV stream and hands each event to process.
+func feedCSVFunc(in io.Reader, process func(*zstream.Event) error) (int, error) {
 	r := csv.NewReader(in)
 	r.TrimLeadingSpace = true
 	header, err := r.Read()
@@ -139,7 +237,9 @@ func feedCSV(eng *zstream.Engine, in io.Reader) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		eng.Process(ev)
+		if err := process(ev); err != nil {
+			return n, err
+		}
 		n++
 	}
 }

@@ -85,3 +85,54 @@ func TestRenderMatchValueFields(t *testing.T) {
 		t.Errorf("rendered = %q", out)
 	}
 }
+
+func TestFeedCSVFuncServe(t *testing.T) {
+	// Two queries on a sharded runtime over the same CSV: per-kind rising
+	// pair and per-kind falling pair (partition-local over "kind").
+	input := `ts,kind,price
+1,A,10
+2,B,20
+3,A,30
+4,B,5
+5,A,12
+`
+	rise := zstream.MustCompile(`
+		PATTERN X;Y WHERE X.kind = Y.kind AND Y.price > X.price WITHIN 100
+		RETURN X, Y`)
+	fall := zstream.MustCompile(`
+		PATTERN X;Y WHERE X.kind = Y.kind AND Y.price < X.price WITHIN 100
+		RETURN X, Y`)
+
+	rt := zstream.NewRuntime(zstream.WithShards(2), zstream.WithPartitionBy("kind"),
+		zstream.WithIngestBatch(2))
+	counts := make([]int, 2)
+	var ends []int64
+	for i, q := range []*zstream.Query{rise, fall} {
+		i := i
+		if _, err := rt.Register(q, zstream.OnMatch(func(m *zstream.Match) {
+			counts[i]++
+			ends = append(ends, m.End)
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := feedCSVFunc(strings.NewReader(input), rt.Ingest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("events = %d", n)
+	}
+	// rise: A(10,30), B(5? no), A(10,12) => [1,3] [1,5]; fall: A(30,12) => [3,5], B(20,5) => [2,4]
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] < ends[i-1] {
+			t.Errorf("merged delivery out of end-time order: %v", ends)
+		}
+	}
+}

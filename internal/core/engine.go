@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/cost"
@@ -127,16 +128,20 @@ type Engine struct {
 
 	reorder *operator.Reorderer
 
-	seq        uint64
 	now        int64
 	batchCount int
 	batchFill  int
 	finalSet   map[int]bool
 
-	matches  uint64
-	rounds   uint64
-	switches uint64
-	peakMem  int64
+	// Counters are atomics so Snapshot may be read from another goroutine
+	// (the concurrent runtime aggregates Stats while workers run). The
+	// engine itself remains single-writer: Process/Flush/Sync must not be
+	// called concurrently.
+	seq      atomic.Uint64
+	matches  atomic.Uint64
+	rounds   atomic.Uint64
+	switches atomic.Uint64
+	peakMem  atomic.Int64
 
 	recTap func(*buffer.Record)
 }
@@ -264,8 +269,7 @@ func (e *Engine) Process(ev *event.Event) {
 }
 
 func (e *Engine) ingest(ev *event.Event) {
-	e.seq++
-	ev.Seq = e.seq
+	ev.Seq = e.seq.Add(1)
 	if ev.Ts > e.now {
 		e.now = ev.Ts
 	}
@@ -301,6 +305,16 @@ func (e *Engine) endBatch(now int64) {
 // earliest allowed timestamp: the earliest end-timestamp of unconsumed
 // final-class events minus the window (§4.3).
 func (e *Engine) triggerEAT() (int64, bool) {
+	minEnd, found := e.minFinalEnd()
+	if !found {
+		return 0, false
+	}
+	return minEnd - e.q.Within, true
+}
+
+// minFinalEnd returns the earliest end-timestamp among unconsumed
+// final-class events, if any are buffered.
+func (e *Engine) minFinalEnd() (int64, bool) {
 	minEnd := int64(math.MaxInt64)
 	found := false
 	for _, c := range e.q.Info.FinalClasses {
@@ -313,15 +327,46 @@ func (e *Engine) triggerEAT() (int64, bool) {
 		}
 		found = true
 	}
-	if !found {
-		return 0, false
+	return minEnd, found
+}
+
+// MatchHorizon returns a lower bound on the End of any match a future
+// Process, Sync or Flush call may emit: every assembly round ends its new
+// composites on a previously unconsumed final-class instance, so no future
+// match can end before the earliest such instance. When no unconsumed
+// final-class events are buffered (and no late events are pending in the
+// reordering stage) it returns math.MaxInt64: producing a match then
+// requires future input, whose timestamps are at least the stream time.
+// The concurrent runtime combines this with per-shard stream time to form
+// merge watermarks.
+func (e *Engine) MatchHorizon() int64 {
+	h := int64(math.MaxInt64)
+	if end, ok := e.minFinalEnd(); ok {
+		h = end
 	}
-	return minEnd - e.q.Within, true
+	if e.reorder != nil && e.reorder.Pending() > 0 {
+		if lb := e.now - e.cfg.MaxDisorder; lb < h {
+			h = lb
+		}
+	}
+	return h
+}
+
+// Sync closes the current idle round early, running an assembly round if
+// the final event classes have unconsumed instances. The concurrent
+// runtime calls it at shard-batch boundaries so matches are emitted (and
+// the merge watermark advances) without waiting for BatchSize events. It
+// is a no-op when no events arrived since the last round.
+func (e *Engine) Sync() {
+	if e.batchFill == 0 {
+		return
+	}
+	e.endBatch(e.now)
 }
 
 // assemble runs one assembly round and drains matches from the root.
 func (e *Engine) assemble(eat, now int64) {
-	e.rounds++
+	e.rounds.Add(1)
 	if e.cfg.DisableEAT {
 		// ablation: no EAT push-down; evict only far behind the stream
 		// (4 windows, from stream time — the now parameter is +inf during
@@ -333,8 +378,8 @@ func (e *Engine) assemble(eat, now int64) {
 	}
 	e.plan.Root.Assemble(eat, now)
 	e.drain()
-	if m := e.liveMemory(); m > e.peakMem {
-		e.peakMem = m
+	if m := e.liveMemory(); m > e.peakMem.Load() {
+		e.peakMem.Store(m)
 	}
 }
 
@@ -346,7 +391,7 @@ func (e *Engine) drain() {
 		if !e.plan.EmitOK(rec) {
 			continue
 		}
-		e.matches++
+		e.matches.Add(1)
 		if e.recTap != nil {
 			e.recTap(rec)
 		}
@@ -440,7 +485,7 @@ func (e *Engine) switchPlan(r *optimizer.Result) {
 	}
 	e.plan = newPlan
 	e.planCost = r.Estimate.Cost
-	e.switches++
+	e.switches.Add(1)
 }
 
 // liveMemory approximates the bytes held by live buffer records (the
@@ -465,11 +510,12 @@ type EngineStats struct {
 	Events       uint64
 }
 
-// Snapshot returns the engine counters.
+// Snapshot returns the engine counters. It is safe to call from another
+// goroutine while the engine is processing events.
 func (e *Engine) Snapshot() EngineStats {
 	return EngineStats{
-		Matches: e.matches, Rounds: e.rounds, PlanSwitches: e.switches,
-		PeakMemBytes: e.peakMem, Events: e.seq,
+		Matches: e.matches.Load(), Rounds: e.rounds.Load(), PlanSwitches: e.switches.Load(),
+		PeakMemBytes: e.peakMem.Load(), Events: e.seq.Load(),
 	}
 }
 

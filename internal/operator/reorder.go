@@ -29,6 +29,9 @@ func NewReorderer(maxDelay int64) *Reorderer {
 // disorder bound.
 func (r *Reorderer) Dropped() uint64 { return r.dropped }
 
+// Pending returns the number of buffered events not yet released.
+func (r *Reorderer) Pending() int { return len(r.pending) }
+
 // Push adds an event and returns the events that are now safe to release
 // (all events with ts <= newest - maxDelay), in timestamp order.
 func (r *Reorderer) Push(e *event.Event) []*event.Event {

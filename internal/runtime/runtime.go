@@ -1,0 +1,372 @@
+// Package runtime is the concurrent multi-query execution layer above
+// internal/core: one Runtime hosts many registered queries at once, shards
+// the input stream by a partition key across N worker goroutines (each
+// owning a per-shard core.Engine instance for every live query), ingests
+// events through batched bounded channels with backpressure, and merges the
+// per-worker match streams back into a single end-time-ordered output
+// (heap-merge driven by per-shard watermarks).
+//
+// # Partitioned semantics
+//
+// Every event is routed to exactly one shard by hashing its partition-key
+// attribute, and each shard evaluates every query over its substream
+// independently. A query is therefore evaluated with partition-local
+// semantics: matches combine only events that landed in the same shard.
+// For queries whose predicates equate the partition key across all event
+// classes (e.g. "T1.name = T2.name AND T2.name = T3.name" when partitioned
+// by "name", or the paper's §6.5 web-log query equating IPs when
+// partitioned by "ip"), every potential match is key-local, so the merged
+// output is exactly the output of a single global engine, for any shard
+// count. Queries that join across partition keys see only the shard-local
+// subset of those combinations; register those on a Runtime with Shards=1
+// (or a plain Engine) instead.
+//
+// # Ordering
+//
+// Ingest requires globally non-decreasing timestamps (the same contract as
+// core.Engine without a reordering stage). Matches are delivered by a
+// single merger goroutine in non-decreasing end-time order across all
+// queries and shards; per-query callbacks never run concurrently.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"math"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// QueryID identifies a registered query within one Runtime.
+type QueryID int64
+
+// Errors returned by Runtime methods.
+var (
+	// ErrClosed is returned by Ingest/Register/Unregister after Close.
+	ErrClosed = errors.New("runtime: closed")
+	// ErrOutOfOrder is returned by Ingest for an event whose timestamp
+	// precedes an already ingested one.
+	ErrOutOfOrder = errors.New("runtime: event timestamps must be non-decreasing")
+	// ErrUnknownQuery is returned by Unregister for an id that is not live.
+	ErrUnknownQuery = errors.New("runtime: unknown query id")
+)
+
+// Config tunes a Runtime.
+type Config struct {
+	// Shards is the number of worker goroutines (and stream partitions).
+	// Default GOMAXPROCS(0).
+	Shards int
+	// PartitionBy names the event attribute whose value routes an event to
+	// a shard. Default "name" (the paper's stock symbol). Events lacking
+	// the attribute hash the null value and all land in one shard.
+	PartitionBy string
+	// BatchSize is the number of events the ingest side accumulates
+	// (across all shards) before flushing one batch per shard to the
+	// workers. Default 256.
+	BatchSize int
+	// QueueLen is the per-worker input queue depth in batches; when a
+	// worker falls behind, Ingest blocks once its queue is full
+	// (backpressure). Default 8.
+	QueueLen int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = stdruntime.GOMAXPROCS(0)
+	}
+	if c.PartitionBy == "" {
+		c.PartitionBy = "name"
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 8
+	}
+	return c
+}
+
+// Stats aggregates runtime counters. Engine sums the per-shard engine
+// snapshots of every query ever registered (PeakMemBytes sums per-engine
+// peaks, an upper bound on the true simultaneous peak).
+type Stats struct {
+	Shards           int
+	LiveQueries      int
+	EventsIngested   uint64
+	MatchesDelivered uint64
+	Engine           core.EngineStats
+}
+
+// registered tracks one live query.
+type registered struct {
+	id      QueryID
+	engines []*core.Engine // one per shard
+}
+
+// Runtime hosts many queries concurrently over one partitioned stream.
+type Runtime struct {
+	cfg      Config
+	hashSeed maphash.Seed
+	workers  []*worker
+	mergeCh  chan mergeMsg
+	merger   chan struct{} // closed when the merger goroutine exits
+
+	ingested  atomic.Uint64
+	delivered atomic.Uint64
+
+	// mu serializes Ingest, Register, Unregister and Close with each
+	// other; the per-shard pending batches and registry below are guarded
+	// by it. Workers and the merger never take it, and it is NOT held
+	// while sending to worker queues — backpressure blocks only sendMu,
+	// so Stats stays responsive while a slow shard catches up.
+	mu      sync.Mutex
+	closed  bool
+	nextID  QueryID
+	live    map[QueryID]*registered
+	retired core.EngineStats // folded counters of unregistered queries
+	pending [][]*event.Event
+	nPend   int
+	lastTs  int64
+
+	// sendMu serializes the worker-queue send phases. It is only ever
+	// acquired while holding mu (and released after mu is dropped), which
+	// keeps send phases in mu-decision order and makes it impossible for
+	// a Register/Ingest send to race Close's channel close.
+	sendMu sync.Mutex
+}
+
+// New creates a Runtime and starts its worker and merger goroutines.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:      cfg,
+		hashSeed: maphash.MakeSeed(),
+		mergeCh:  make(chan mergeMsg, cfg.Shards*cfg.QueueLen+cfg.Shards),
+		merger:   make(chan struct{}),
+		live:     map[QueryID]*registered{},
+		pending:  make([][]*event.Event, cfg.Shards),
+		lastTs:   math.MinInt64 / 2,
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen)}
+		rt.workers = append(rt.workers, w)
+		go w.run(rt.mergeCh)
+	}
+	go rt.runMerger()
+	return rt
+}
+
+// Register adds a query to every shard and returns its id. The per-shard
+// engines are constructed synchronously, so a bad query or config fails
+// here, before any goroutine sees it; emit (may be nil) then receives the
+// query's matches from the merger goroutine in global end-time order. The
+// query starts observing events ingested after Register returns.
+func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Match)) (QueryID, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return 0, ErrClosed
+	}
+	engines := make([]*core.Engine, rt.cfg.Shards)
+	sinks := make([]*matchSink, rt.cfg.Shards)
+	for i := range engines {
+		s := &matchSink{}
+		eng, err := core.NewEngine(q, cfg, s.add)
+		if err != nil {
+			return 0, fmt.Errorf("runtime: register: %w", err)
+		}
+		engines[i], sinks[i] = eng, s
+	}
+	rt.nextID++
+	id := rt.nextID
+	ts := rt.lastTs // captured under mu: the op closure runs unlocked
+	// Flush buffered events first so the registration point is exact with
+	// respect to Ingest order; the op rides the same send phase.
+	rt.sendLocked(func(i int) shardMsg {
+		return shardMsg{ts: ts, reg: &regOp{id: id, eng: engines[i], sink: sinks[i], emit: emit}}
+	})
+	rt.live[id] = &registered{id: id, engines: engines}
+	return id, nil
+}
+
+// Unregister removes a live query. Its engines are dropped without a final
+// flush: partial matches pending inside the window are discarded, while
+// matches already emitted are still delivered. Events ingested before
+// Unregister returns are still evaluated by the query.
+func (rt *Runtime) Unregister(id QueryID) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	reg, ok := rt.live[id]
+	if !ok {
+		return ErrUnknownQuery
+	}
+	ts := rt.lastTs // captured under mu: the op closure runs unlocked
+	rt.sendLocked(func(int) shardMsg { return shardMsg{ts: ts, unreg: id} })
+	// Fold the dropped engines' counters into the retired accumulator so
+	// Stats stays cumulative without keeping dead engines (and their
+	// buffered windows) alive. Workers may process a final in-flight
+	// batch after this snapshot; those last few events go uncounted.
+	for _, e := range reg.engines {
+		s := e.Snapshot()
+		rt.retired.Matches += s.Matches
+		rt.retired.Rounds += s.Rounds
+		rt.retired.PlanSwitches += s.PlanSwitches
+		rt.retired.PeakMemBytes += s.PeakMemBytes
+		rt.retired.Events += s.Events
+	}
+	delete(rt.live, id)
+	return nil
+}
+
+// Ingest feeds one event. Timestamps must be non-decreasing; the caller
+// must not reuse the event afterwards (shard engines stamp sequence
+// numbers on private copies, but the attribute slice is shared). Ingest
+// blocks when a worker queue is full (backpressure) and is safe to call
+// concurrently with Register/Unregister/Stats, though multi-producer
+// ingest needs external ordering to keep timestamps monotone.
+func (rt *Runtime) Ingest(ev *event.Event) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	if ev.Ts < rt.lastTs {
+		return fmt.Errorf("%w: got ts %d after %d", ErrOutOfOrder, ev.Ts, rt.lastTs)
+	}
+	rt.lastTs = ev.Ts
+	s := rt.shard(ev)
+	rt.pending[s] = append(rt.pending[s], ev)
+	rt.nPend++
+	rt.ingested.Add(1)
+	if rt.nPend >= rt.cfg.BatchSize {
+		rt.sendLocked(nil)
+	}
+	return nil
+}
+
+// shard routes an event by hashing its partition-key attribute.
+func (rt *Runtime) shard(ev *event.Event) int {
+	if rt.cfg.Shards == 1 {
+		return 0
+	}
+	var h maphash.Hash
+	h.SetSeed(rt.hashSeed)
+	v := ev.Get(rt.cfg.PartitionBy)
+	switch v.Kind {
+	case event.KindString:
+		h.WriteString(v.S)
+	case event.KindFloat:
+		var b [8]byte
+		u := math.Float64bits(v.F)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return int(h.Sum64() % uint64(rt.cfg.Shards))
+}
+
+// sendLocked flushes every shard's pending batch — an empty batch is a
+// heartbeat carrying the current stream time, which keeps idle shards'
+// watermarks advancing so the ordered merge never stalls on a cold
+// shard — followed by one op message per worker when op is non-nil.
+//
+// It must be called with mu held and returns with mu held, but drops it
+// for the blocking channel sends: only sendMu (acquired under mu, so
+// send phases run in decision order) is held while backpressure bites.
+func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
+	batches := rt.pending
+	ts := rt.lastTs
+	flush := rt.nPend > 0 || ts != math.MinInt64/2
+	if !flush && op == nil {
+		return
+	}
+	rt.pending = make([][]*event.Event, rt.cfg.Shards)
+	rt.nPend = 0
+
+	rt.sendMu.Lock()
+	rt.mu.Unlock()
+	for i, w := range rt.workers {
+		if flush {
+			w.in <- shardMsg{events: batches[i], ts: ts}
+		}
+		if op != nil {
+			w.in <- op(i)
+		}
+	}
+	rt.sendMu.Unlock()
+	rt.mu.Lock()
+}
+
+// Close flushes buffered events, final-flushes every engine (emitting all
+// remaining matches, including trailing negations and closures), waits for
+// the merger to drain, and stops all goroutines. It is idempotent; Ingest,
+// Register and Unregister fail with ErrClosed afterwards.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		<-rt.merger
+		return nil
+	}
+	rt.closed = true
+	batches := rt.pending
+	ts := rt.lastTs
+	flush := rt.nPend > 0 || ts != math.MinInt64/2
+	rt.pending = make([][]*event.Event, rt.cfg.Shards)
+	rt.nPend = 0
+	// Channels are closed inside the sendMu phase, after any in-flight
+	// Register/Ingest send completes; closed (set under mu above) stops
+	// later callers before they reach a send.
+	rt.sendMu.Lock()
+	rt.mu.Unlock()
+	for i, w := range rt.workers {
+		if flush {
+			w.in <- shardMsg{events: batches[i], ts: ts}
+		}
+		close(w.in)
+	}
+	rt.sendMu.Unlock()
+	<-rt.merger
+	return nil
+}
+
+// Stats returns aggregated counters; safe to call at any time, including
+// while workers are processing (engine snapshots are atomic, and worker
+// backpressure never holds mu). Engine counters cover live queries plus
+// the totals unregistered queries had accumulated when they were removed.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	engines := make([]*core.Engine, 0, len(rt.live)*rt.cfg.Shards)
+	for _, reg := range rt.live {
+		engines = append(engines, reg.engines...)
+	}
+	nLive := len(rt.live)
+	agg := rt.retired
+	rt.mu.Unlock()
+	st := Stats{
+		Shards:           rt.cfg.Shards,
+		LiveQueries:      nLive,
+		EventsIngested:   rt.ingested.Load(),
+		MatchesDelivered: rt.delivered.Load(),
+		Engine:           agg,
+	}
+	for _, e := range engines {
+		s := e.Snapshot()
+		st.Engine.Matches += s.Matches
+		st.Engine.Rounds += s.Rounds
+		st.Engine.PlanSwitches += s.PlanSwitches
+		st.Engine.PeakMemBytes += s.PeakMemBytes
+		st.Engine.Events += s.Events
+	}
+	return st
+}

@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// shardMsg is one unit of work on a worker's input queue: a batch of
+// events for this shard (possibly empty — a heartbeat), the stream time at
+// flush, and at most one registry operation. Queue order defines the
+// shard-local event order, so registrations take effect at an exact point
+// in the stream.
+type shardMsg struct {
+	events []*event.Event
+	ts     int64 // stream time when the batch was flushed (max ingested ts)
+	reg    *regOp
+	unreg  QueryID
+}
+
+// regOp hands a pre-built per-shard engine to a worker.
+type regOp struct {
+	id   QueryID
+	eng  *core.Engine
+	sink *matchSink
+	emit func(*core.Match)
+}
+
+// matchSink collects one engine's emitted matches between batch
+// boundaries. It is written synchronously by the engine's emit callback
+// inside the worker goroutine, so it needs no locking.
+type matchSink struct{ buf []*core.Match }
+
+func (s *matchSink) add(m *core.Match) { s.buf = append(s.buf, m) }
+
+func (s *matchSink) take() []*core.Match {
+	out := s.buf
+	s.buf = nil
+	return out
+}
+
+// pendingMatch is one match waiting in the merger for its watermark.
+type pendingMatch struct {
+	end   int64
+	shard int
+	seq   uint64 // per-shard emission order, for a deterministic tie-break
+	m     *core.Match
+	emit  func(*core.Match)
+}
+
+// mergeMsg is one worker's batch report to the merger: the matches its
+// engines emitted this batch (sorted by end-time) and the shard's new
+// watermark — a lower bound on the End of any match the shard may still
+// produce. final marks the worker's last message, sent after Close
+// flushed every engine.
+type mergeMsg struct {
+	shard     int
+	matches   []pendingMatch
+	watermark int64
+	final     bool
+}
+
+// shardQuery is one live query on one worker.
+type shardQuery struct {
+	id   QueryID
+	eng  *core.Engine
+	sink *matchSink
+	emit func(*core.Match)
+}
+
+// worker owns one stream partition: a private core.Engine per live query,
+// fed in shard-local order, synced at every batch boundary.
+type worker struct {
+	id int
+	in chan shardMsg
+}
+
+func (w *worker) run(out chan<- mergeMsg) {
+	var queries []shardQuery // registration order
+	streamTime := int64(math.MinInt64 / 2)
+	var emitSeq uint64
+
+	gather := func(flush bool) []pendingMatch {
+		var batch []pendingMatch
+		for _, q := range queries {
+			if flush {
+				q.eng.Flush()
+			} else {
+				q.eng.Sync()
+			}
+			for _, m := range q.sink.take() {
+				emitSeq++
+				batch = append(batch, pendingMatch{end: m.End, shard: w.id, seq: emitSeq, m: m, emit: q.emit})
+			}
+		}
+		// Each engine emits in end-time order; interleave the per-engine
+		// runs into one sorted batch. seq (assigned in registration order
+		// above) breaks end-time ties, so the order is deterministic.
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].end != batch[j].end {
+				return batch[i].end < batch[j].end
+			}
+			return batch[i].seq < batch[j].seq
+		})
+		return batch
+	}
+
+	for msg := range w.in {
+		if msg.ts > streamTime {
+			streamTime = msg.ts
+		}
+		switch {
+		case msg.reg != nil:
+			queries = append(queries, shardQuery{id: msg.reg.id, eng: msg.reg.eng, sink: msg.reg.sink, emit: msg.reg.emit})
+		case msg.unreg != 0:
+			for i, q := range queries {
+				if q.id == msg.unreg {
+					queries = append(queries[:i], queries[i+1:]...)
+					break
+				}
+			}
+		}
+		for _, ev := range msg.events {
+			for _, q := range queries {
+				// Engines stamp sequence numbers on the event, so each
+				// gets a private copy; the value slice stays shared.
+				cp := *ev
+				q.eng.Process(&cp)
+			}
+		}
+		batch := gather(false)
+
+		// The shard watermark: no match this shard later produces can end
+		// before it. Future matches either complete on an already buffered
+		// unconsumed final-class instance (engine MatchHorizon) or on a
+		// future event, whose timestamp is at least the flushed stream
+		// time (ingest order is globally non-decreasing).
+		wm := streamTime
+		for _, q := range queries {
+			if h := q.eng.MatchHorizon(); h < wm {
+				wm = h
+			}
+		}
+		out <- mergeMsg{shard: w.id, matches: batch, watermark: wm}
+	}
+
+	// Close: final flush confirms trailing negations and closures; after
+	// it no shard match is outstanding, so the watermark jumps to +inf.
+	batch := gather(true)
+	out <- mergeMsg{shard: w.id, matches: batch, watermark: math.MaxInt64, final: true}
+}
+
+// matchHeap is a hand-rolled min-heap of pending matches ordered by
+// (end, shard, seq) — a total, deterministic order consistent with
+// end-time order. It avoids container/heap's per-push interface boxing,
+// which showed up as GC pressure on match-heavy workloads.
+type matchHeap []pendingMatch
+
+func (h matchHeap) less(i, j int) bool {
+	if h[i].end != h[j].end {
+		return h[i].end < h[j].end
+	}
+	if h[i].shard != h[j].shard {
+		return h[i].shard < h[j].shard
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *matchHeap) push(pm pendingMatch) {
+	*h = append(*h, pm)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *matchHeap) pop() pendingMatch {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = pendingMatch{} // release the match pointer to the GC
+	a = a[:n]
+	*h = a
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && a.less(l, min) {
+			min = l
+		}
+		if r < n && a.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
+}
+
+// runMerger is the single consumer of every worker's match stream: it
+// holds back matches until every shard's watermark passes their end-time,
+// then releases them heap-ordered, giving one globally end-time-ordered
+// output across all queries and shards. Per-query callbacks run here, so
+// they are never invoked concurrently.
+func (rt *Runtime) runMerger() {
+	defer close(rt.merger)
+	n := rt.cfg.Shards
+	wms := make([]int64, n)
+	for i := range wms {
+		wms[i] = math.MinInt64
+	}
+	var h matchHeap
+	finals := 0
+	release := func() {
+		min := wms[0]
+		for _, wm := range wms[1:] {
+			if wm < min {
+				min = wm
+			}
+		}
+		// Strictly below the watermark: a shard at watermark W may still
+		// produce a match ending exactly at W.
+		for len(h) > 0 && h[0].end < min {
+			pm := h.pop()
+			rt.delivered.Add(1)
+			if pm.emit != nil {
+				pm.emit(pm.m)
+			}
+		}
+	}
+	for msg := range rt.mergeCh {
+		for _, pm := range msg.matches {
+			h.push(pm)
+		}
+		if msg.watermark > wms[msg.shard] {
+			wms[msg.shard] = msg.watermark
+		}
+		release()
+		if msg.final {
+			finals++
+			if finals == n {
+				return
+			}
+		}
+	}
+}

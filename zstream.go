@@ -27,6 +27,28 @@
 //	    eng.Process(ev)
 //	}
 //	eng.Flush()
+//
+// # Concurrent multi-query serving
+//
+// An Engine runs one query on one goroutine. A Runtime hosts many
+// registered queries at once and uses every core: it shards the input
+// stream by a partition-key attribute across worker goroutines (each
+// owning a private per-shard engine for every query), applies
+// backpressure through bounded batched queues, and heap-merges the
+// per-shard match streams back into a single end-time-ordered output.
+// Queries can be registered and unregistered while the stream is live:
+//
+//	rt := zstream.NewRuntime(zstream.WithShards(8))
+//	id, err := rt.Register(q, zstream.OnMatch(func(m *zstream.Match) { ... }))
+//	for _, ev := range ticks {
+//	    rt.Ingest(ev)
+//	}
+//	rt.Close()
+//
+// Sharded evaluation is partition-local: for queries that equate the
+// partition key across all event classes (per-symbol, per-IP, ... — the
+// common CEP shape), the merged output is identical to a single Engine
+// over the whole stream; see the Runtime type for the exact contract.
 package zstream
 
 import (
@@ -132,6 +154,12 @@ type engineConfig struct {
 	emit func(*Match)
 }
 
+// defaultCoreConfig is the baseline engine configuration shared by
+// NewEngine and Runtime.Register.
+func defaultCoreConfig() core.Config {
+	return core.Config{Strategy: core.StrategyOptimal, UseHash: true}
+}
+
 // OnMatch installs the match callback; matches arrive in end-time order.
 func OnMatch(f func(*Match)) Option {
 	return func(c *engineConfig) { c.emit = f }
@@ -188,7 +216,7 @@ type Engine struct {
 
 // NewEngine builds an execution engine for q.
 func NewEngine(q *Query, opts ...Option) (*Engine, error) {
-	ec := engineConfig{cfg: core.Config{Strategy: core.StrategyOptimal, UseHash: true}}
+	ec := engineConfig{cfg: defaultCoreConfig()}
 	for _, o := range opts {
 		o(&ec)
 	}
@@ -215,12 +243,20 @@ func (e *Engine) Stats() Stats { return e.eng.Snapshot() }
 func (e *Engine) Explain() string { return e.eng.Plan().Explain() }
 
 // Run consumes events from in and sends matches on the returned channel,
-// which is closed after in closes and the final flush completes. It runs
-// in a new goroutine; the engine must not be used concurrently elsewhere.
+// which is closed after in closes and the final flush completes. Matches
+// are sent in end-time order (the same order OnMatch observes; an OnMatch
+// option passed here is overridden by the channel send). The engine is
+// constructed before the consuming goroutine starts, so a bad query or
+// option combination is reported synchronously as an error and no
+// goroutine is leaked. The engine must not be used concurrently elsewhere.
 func (q *Query) Run(in <-chan *Event, opts ...Option) (<-chan *Match, error) {
 	out := make(chan *Match, 64)
-	opts = append(opts, OnMatch(func(m *Match) { out <- m }))
-	eng, err := NewEngine(q, opts...)
+	// Copy rather than append in place: appending could overwrite a
+	// caller-owned backing array shared with other option slices.
+	all := make([]Option, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, OnMatch(func(m *Match) { out <- m }))
+	eng, err := NewEngine(q, all...)
 	if err != nil {
 		return nil, err
 	}

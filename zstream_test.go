@@ -1,6 +1,7 @@
 package zstream_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -239,4 +240,90 @@ func TestSchemaRoundTrip(t *testing.T) {
 	if eng.Stats().Matches != 1 {
 		t.Errorf("matches = %d", eng.Stats().Matches)
 	}
+}
+
+func TestRuntimeEndToEnd(t *testing.T) {
+	// Per-symbol price rise, partition-local over "name": the runtime's
+	// merged output must equal a single engine's.
+	q := zstream.MustCompile(`
+		PATTERN Low; High
+		WHERE Low.name = High.name AND High.price > 1.10 * Low.price
+		WITHIN 10 secs
+		RETURN Low, High`)
+
+	ticks := []*zstream.Event{
+		tick(1, 1000, "IBM", 100), tick(2, 1500, "Sun", 50),
+		tick(3, 2000, "IBM", 103), tick(4, 2500, "Sun", 58),
+		tick(5, 3000, "IBM", 114), tick(6, 9000, "IBM", 140),
+	}
+
+	var single []string
+	eng, err := zstream.NewEngine(q, zstream.OnMatch(func(m *zstream.Match) {
+		single = append(single, renderInterval(m))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range ticks {
+		cp := *ev
+		eng.Process(&cp)
+	}
+	eng.Flush()
+
+	rt := zstream.NewRuntime(zstream.WithShards(2), zstream.WithIngestBatch(2))
+	var merged []string
+	id, err := rt.Register(q, zstream.OnMatch(func(m *zstream.Match) {
+		merged = append(merged, renderInterval(m))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range ticks {
+		cp := *ev
+		if err := rt.Ingest(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(single) == 0 {
+		t.Fatal("single engine found no matches; test is vacuous")
+	}
+	if strings.Join(merged, "|") != strings.Join(single, "|") {
+		t.Errorf("runtime = %v, single engine = %v", merged, single)
+	}
+
+	st := rt.Stats()
+	if st.Shards != 2 || st.EventsIngested != uint64(len(ticks)) ||
+		st.MatchesDelivered != uint64(len(single)) {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := rt.Unregister(id); err != zstream.ErrClosed {
+		t.Errorf("Unregister after Close = %v", err)
+	}
+}
+
+func TestRuntimeRegisterError(t *testing.T) {
+	rt := zstream.NewRuntime(zstream.WithShards(1))
+	defer rt.Close()
+	q := zstream.MustCompile("PATTERN A;B WITHIN 10")
+	if _, err := rt.Register(q); err != nil {
+		t.Fatalf("valid register failed: %v", err)
+	}
+	if err := rt.Unregister(zstream.QueryID(999)); err != zstream.ErrUnknownQuery {
+		t.Errorf("Unregister(999) = %v", err)
+	}
+}
+
+func renderInterval(m *zstream.Match) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d..%d]", m.Start, m.End)
+	for _, f := range m.Fields {
+		for _, e := range f.Events {
+			fmt.Fprintf(&b, " %s@%d", e.Get("name").S, e.Ts)
+		}
+	}
+	return b.String()
 }
