@@ -1,0 +1,135 @@
+// Allocation regression tests for the zero-allocation hot path: steady-
+// state ingest must not allocate at all, and an assembly round (including
+// match emission) must stay under a fixed per-event allocation budget.
+// These are the programmatic counterpart of the CI bench gate's allocs/op
+// comparison against BENCH_*.json.
+package zstream_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// allocStream generates a monotone stock stream long enough for a warmup
+// phase plus testing.AllocsPerRun's extra invocation.
+func allocStream(n int, sel float64) []*event.Event {
+	return workload.GenStocks(workload.StockSpec{
+		N: n, Seed: 8, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights:    []float64{1, 1, 1},
+		FixedPrice: map[string]float64{"Sun": workload.SelectivityPrice(sel)},
+	})
+}
+
+// TestIngestSteadyStateZeroAllocs drives an engine past its warmup (pool
+// fill, buffer growth, compaction) on a match-free workload, then asserts
+// that processing an event — including the assembly rounds that fire and
+// evict along the way — performs zero heap allocations.
+func TestIngestSteadyStateZeroAllocs(t *testing.T) {
+	q := query.MustParse(`
+		PATTERN IBM; Sun
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND IBM.price > Sun.price + 1000000
+		WITHIN 200 units`)
+	eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := allocStream(45000, 0.5)
+	warm := 30000
+	for _, ev := range events[:warm] {
+		eng.Process(ev)
+	}
+	i := warm
+	avg := testing.AllocsPerRun(10000, func() {
+		eng.Process(events[i])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ingest allocates %.2f allocs/event, want 0", avg)
+	}
+	if m := eng.Snapshot().Matches; m != 0 {
+		t.Fatalf("workload expected to be match-free, got %d matches", m)
+	}
+}
+
+// TestIngestSteadyStateZeroAllocsWithMatches is the stronger variant: the
+// workload produces matches, but with a nil emit callback (counting only)
+// the whole ingest+assembly+drain cycle still runs allocation-free —
+// output records are pooled and recycled as the root buffer drains.
+func TestIngestSteadyStateZeroAllocsWithMatches(t *testing.T) {
+	q := query.MustParse(`
+		PATTERN IBM; Sun
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND IBM.price > Sun.price
+		WITHIN 50 units`)
+	eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := allocStream(45000, 0.5)
+	warm := 30000
+	for _, ev := range events[:warm] {
+		eng.Process(ev)
+	}
+	before := eng.Snapshot().Matches
+	i := warm
+	avg := testing.AllocsPerRun(10000, func() {
+		eng.Process(events[i])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ingest+assembly allocates %.2f allocs/event, want 0", avg)
+	}
+	if after := eng.Snapshot().Matches; after == before {
+		t.Fatal("measured region produced no matches; test is vacuous")
+	}
+}
+
+// TestAssemblyAllocBudget bounds the allocation cost of the full serving
+// path — ingest, assembly, match materialization through a live emit
+// callback — on the Figure 8 workload. Materialized matches are real
+// output and must allocate, but the per-event average has to stay far
+// below the pre-pooling cost (~11 allocs/event on this workload).
+func TestAssemblyAllocBudget(t *testing.T) {
+	q := query.MustParse(`
+		PATTERN IBM; Sun
+		WHERE IBM.name = 'IBM' AND Sun.name = 'Sun' AND Sun.price > IBM.price + 90
+		WITHIN 200 units`)
+	var matches uint64
+	eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256},
+		func(*core.Match) { matches++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform random prices (no pinned selectivity): the +90 constraint
+	// makes matches rare-but-present.
+	events := workload.GenStocks(workload.StockSpec{
+		N: 45000, Seed: 8, Names: []string{"IBM", "Sun", "Oracle"},
+		Weights: []float64{1, 1, 1},
+	})
+	warm := 30000
+	for _, ev := range events[:warm] {
+		eng.Process(ev)
+	}
+	matches = 0
+	i := warm
+	const runs = 10000
+	avg := testing.AllocsPerRun(runs, func() {
+		eng.Process(events[i])
+		i++
+	})
+	if matches == 0 {
+		t.Fatal("measured region produced no matches; test is vacuous")
+	}
+	// The steady-state path itself is allocation-free (see the tests
+	// above); what remains is materializing matches for the emit callback,
+	// which is real output. Allow a fixed number of allocations per
+	// emitted match plus a small per-event slack.
+	matchRate := float64(matches) / float64(runs+1) // AllocsPerRun runs f once extra
+	budget := 0.25 + 10*matchRate
+	if avg > budget {
+		t.Fatalf("serving path allocates %.2f allocs/event, budget %.2f (%.3f matches/event)", avg, budget, matchRate)
+	}
+}

@@ -1,0 +1,183 @@
+// Command benchdiff compares two zstream-bench/v1 JSON documents (see
+// cmd/zbench -json) and fails when the new run regresses beyond the
+// configured tolerances. It is the CI performance gate:
+//
+//	benchdiff [-max-tput-drop 0.15] [-max-alloc-growth 0.10] baseline.json new.json
+//
+// Two checks gate the result:
+//
+//   - allocs_per_event is deterministic, so it is gated per run: any run
+//     whose allocation count grows more than -max-alloc-growth (relative;
+//     an absolute slack of -alloc-slack applies to near-zero baselines)
+//     fails the gate.
+//   - events_per_sec is noisy at per-run granularity (sub-second runs,
+//     shared machines), so it is gated on the geometric mean of the
+//     new/baseline ratios across all comparable runs: scheduler noise
+//     averages out, a hot-path regression shifts the whole distribution.
+//     A geomean drop beyond -max-tput-drop fails the gate. Per-run deltas
+//     are still printed for inspection.
+//
+// Runs are matched by (experiment id, series label, plan). Runs present in
+// only one document are reported but do not fail the gate (experiments
+// come and go); changed workloads should regenerate the baseline instead.
+//
+// Throughput is machine-dependent — the geomean comparison assumes the
+// baseline was produced on comparable hardware (in CI: the committed
+// BENCH_*.json; regenerate it after intentional perf changes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// The types mirror internal/experiments' JSON shape; decoding is
+// structural so benchdiff also works on baselines from older binaries.
+type doc struct {
+	Schema      string       `json:"schema"`
+	Scale       float64      `json:"scale"`
+	Experiments []experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID     string   `json:"id"`
+	Series []series `json:"series"`
+}
+
+type series struct {
+	Label string `json:"label"`
+	Runs  []run  `json:"runs"`
+}
+
+type run struct {
+	Plan           string  `json:"plan"`
+	Throughput     float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+type key struct{ exp, label, plan string }
+
+func load(path string) (map[key]run, *doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != "zstream-bench/v1" {
+		return nil, nil, fmt.Errorf("%s: unsupported schema %q", path, d.Schema)
+	}
+	m := map[key]run{}
+	for _, e := range d.Experiments {
+		for _, s := range e.Series {
+			for _, r := range s.Runs {
+				m[key{e.ID, s.Label, r.Plan}] = r
+			}
+		}
+	}
+	return m, &d, nil
+}
+
+func main() {
+	var (
+		maxTputDrop    = flag.Float64("max-tput-drop", 0.15, "max relative drop of the geomean events/s ratio before failing")
+		maxAllocGrowth = flag.Float64("max-alloc-growth", 0.10, "max relative allocs/event growth of any single run before failing")
+		allocSlack     = flag.Float64("alloc-slack", 0.05, "absolute allocs/event slack for near-zero baselines")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, bdoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, cdoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if bdoc.Scale != cdoc.Scale {
+		fmt.Fprintf(os.Stderr, "benchdiff: scale mismatch: baseline %g vs new %g — comparison is meaningless\n",
+			bdoc.Scale, cdoc.Scale)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-44s %14s %14s %10s %10s\n", "experiment/series/plan", "events/s", "Δ tput", "allocs/ev", "Δ allocs")
+	allocRegressions := 0
+	compared := 0
+	logSum, logN := 0.0, 0
+	for _, e := range cdoc.Experiments {
+		for _, s := range e.Series {
+			for _, r := range s.Runs {
+				k := key{e.ID, s.Label, r.Plan}
+				b, ok := base[k]
+				name := fmt.Sprintf("%s/%s/%s", k.exp, k.label, k.plan)
+				if !ok {
+					fmt.Printf("%-44s %14.0f %14s %10.2f %10s\n", name, r.Throughput, "(new)", r.AllocsPerEvent, "")
+					continue
+				}
+				compared++
+				tputDelta := 0.0
+				if b.Throughput > 0 && r.Throughput > 0 {
+					ratio := r.Throughput / b.Throughput
+					tputDelta = ratio - 1
+					logSum += math.Log(ratio)
+					logN++
+				}
+				allocBad := false
+				if growth := r.AllocsPerEvent - b.AllocsPerEvent; growth > *allocSlack {
+					if b.AllocsPerEvent <= *allocSlack || growth > b.AllocsPerEvent**maxAllocGrowth {
+						allocBad = true
+					}
+				}
+				mark := ""
+				if allocBad {
+					allocRegressions++
+					mark = "  << ALLOC REGRESSION"
+				}
+				fmt.Printf("%-44s %14.0f %+13.1f%% %10.2f %+10.2f%s\n",
+					name, r.Throughput, tputDelta*100, r.AllocsPerEvent,
+					r.AllocsPerEvent-b.AllocsPerEvent, mark)
+			}
+		}
+	}
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			fmt.Printf("%-44s (missing from new run)\n", fmt.Sprintf("%s/%s/%s", k.exp, k.label, k.plan))
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable runs — wrong files?")
+		os.Exit(2)
+	}
+
+	geomean := 1.0
+	if logN > 0 {
+		geomean = math.Exp(logSum / float64(logN))
+	}
+	tputBad := geomean < 1-*maxTputDrop
+	fmt.Printf("throughput geomean ratio: %.3f over %d runs (gate: >= %.3f)\n", geomean, logN, 1-*maxTputDrop)
+
+	if allocRegressions > 0 || tputBad {
+		if allocRegressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d run(s) regressed allocs/event beyond +%.0f%%\n",
+				allocRegressions, *maxAllocGrowth*100)
+		}
+		if tputBad {
+			fmt.Fprintf(os.Stderr, "benchdiff: geomean throughput ratio %.3f dropped beyond -%.0f%%\n",
+				geomean, *maxTputDrop*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK — %d runs (geomean tput %+.1f%%, alloc gate +%.0f%%)\n",
+		compared, (geomean-1)*100, *maxAllocGrowth*100)
+}

@@ -7,12 +7,32 @@
 //	zbench -exp fig8,fig12      # run selected experiments
 //	zbench -scale 0.25          # quarter-size workloads
 //	zbench -list                # list experiment ids
+//	zbench -json -out BENCH.json # machine-readable baseline (see below)
 //
 // Output is one text table per experiment, with the paper's expectations
 // attached as notes; EXPERIMENTS.md records a full paper-vs-measured run.
+//
+// With -json, zbench instead emits one JSON document ("zstream-bench/v1"):
+//
+//	{
+//	  "schema": "zstream-bench/v1",
+//	  "scale": 0.1,
+//	  "experiments": [
+//	    {"id": "fig8", "title": "...", "series": [
+//	      {"label": "sel=1/8", "runs": [
+//	        {"plan": "left-deep", "events_per_sec": 94000,
+//	         "matches": 51673, "allocs_per_event": 0.9,
+//	         "bytes_per_event": 120.5, "peak_mem_mb": 0.21}]}]}]
+//	}
+//
+// events_per_sec is machine-dependent; allocs_per_event and
+// bytes_per_event are not. cmd/benchdiff compares two such documents and
+// enforces the CI regression gate against the committed BENCH_*.json
+// baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,11 +65,22 @@ var registry = []struct {
 	{"abl-batch", experiments.AblationBatchSize, "ablation: batch size"},
 }
 
+// Doc is the -json output document ("zstream-bench/v1"). It deliberately
+// omits timestamps and host details so regenerating a baseline on the same
+// machine yields minimal diffs.
+type Doc struct {
+	Schema      string                `json:"schema"`
+	Scale       float64               `json:"scale"`
+	Experiments []*experiments.Result `json:"experiments"`
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonFlag = flag.Bool("json", false, "emit the zstream-bench/v1 JSON document instead of text tables")
+		out      = flag.String("out", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -66,7 +97,8 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	ran := 0
+	doc := Doc{Schema: "zstream-bench/v1", Scale: *scale}
+	var text strings.Builder
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
@@ -76,11 +108,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "zbench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Println(r.Table())
-		ran++
+		if *jsonFlag {
+			fmt.Fprintf(os.Stderr, "zbench: %s done\n", e.id)
+		} else {
+			text.WriteString(r.Table())
+			text.WriteByte('\n')
+		}
+		doc.Experiments = append(doc.Experiments, r)
 	}
-	if ran == 0 {
+	if len(doc.Experiments) == 0 {
 		fmt.Fprintf(os.Stderr, "zbench: no experiment matched %q (use -list)\n", *expFlag)
 		os.Exit(1)
 	}
+
+	var payload []byte
+	if *jsonFlag {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zbench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		payload = append(b, '\n')
+	} else {
+		payload = []byte(text.String())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "zbench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Stdout.Write(payload)
 }

@@ -155,7 +155,17 @@ type Buf struct {
 	// liveHW tracks the high-water mark of live record count for the
 	// deterministic peak-memory metric.
 	liveHW int
+	// pool, if non-nil, receives records removed from the buffer
+	// (eviction, consumed-prefix drops, Clear) for reuse. See Pool for the
+	// ownership contract.
+	pool *Pool
 }
+
+// SetPool attaches a record pool; removed records are recycled into it.
+func (b *Buf) SetPool(p *Pool) { b.pool = p }
+
+// Pool returns the attached record pool (nil when pooling is off).
+func (b *Buf) Pool() *Pool { return b.pool }
 
 // New returns an empty buffer.
 func New() *Buf { return &Buf{} }
@@ -237,8 +247,16 @@ func (b *Buf) Advance(k int) {
 func (b *Buf) ResetCursor() { b.cursor = 0 }
 
 // Clear drops all records and resets the cursor (used when discarding the
-// intermediate state of a replaced plan).
+// intermediate state of a replaced plan). With a pool attached, every
+// record (including the already-evicted prefix still parked in the backing
+// array) is recycled.
 func (b *Buf) Clear() {
+	if b.pool != nil {
+		for i := range b.recs {
+			b.pool.put(b.recs[i])
+		}
+	}
+	clear(b.recs)
 	b.recs = b.recs[:0]
 	b.head = 0
 	b.cursor = 0
@@ -266,6 +284,10 @@ func (b *Buf) EvictBefore(eat int64) int {
 		if b.index != nil {
 			b.index.remove(b.At(0))
 		}
+		if b.pool != nil {
+			b.pool.put(b.recs[b.head])
+			b.recs[b.head] = nil
+		}
 		b.head++
 		n++
 	}
@@ -284,6 +306,10 @@ func (b *Buf) DropConsumedPrefix() {
 	for b.cursor > 0 {
 		if b.index != nil {
 			b.index.remove(b.At(0))
+		}
+		if b.pool != nil {
+			b.pool.put(b.recs[b.head])
+			b.recs[b.head] = nil
 		}
 		b.head++
 		b.cursor--
@@ -305,10 +331,11 @@ func (b *Buf) maybeCompact() {
 // LowerBoundEnd returns the index of the first live record with End >= t
 // (binary search over the end-time-sorted records).
 func (b *Buf) LowerBoundEnd(t int64) int {
-	lo, hi := 0, b.Len()
+	live := b.recs[b.head:]
+	lo, hi := 0, len(live)
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if b.At(mid).End < t {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].End < t {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -1,0 +1,123 @@
+package buffer
+
+import "repro/internal/event"
+
+// Pool recycles Records of a fixed slot arity. Engines are single-writer,
+// so the pool is a plain free list with no locking: one pool is shared by
+// every buffer of a plan (all records of a plan have the same number of
+// slots), and records return to it when a buffer evicts, drops a consumed
+// prefix, or is cleared.
+//
+// Ownership contract: a record in a pooled buffer is owned by exactly one
+// buffer. Operators that forward child records into their own output
+// (disjunction, negation filters, NSEQ pass-through) must Clone them, and
+// anything escaping the engine (matches, record taps) must copy what it
+// keeps before the originating round ends — the engine recycles drained
+// root records immediately. Slot contents (event pointers, closure-group
+// arrays) are never pooled, only the Record struct and its slot vector, so
+// data copied out of a record stays valid after recycling.
+//
+// A nil *Pool is valid and falls back to plain allocation, so operator unit
+// tests (and any caller outside an engine) work unchanged without pooling.
+type Pool struct {
+	nclasses int
+	free     []*Record
+}
+
+// maxPoolIdle caps the free list so a pathological burst cannot pin an
+// unbounded working set forever. It is sized above any realistic
+// per-round record burst (match-heavy rounds recycle their entire output
+// at drain time and reuse it next round; a cap below the round size would
+// silently re-allocate every round).
+const maxPoolIdle = 1 << 20
+
+// NewPool creates a pool for records with nclasses slots.
+func NewPool(nclasses int) *Pool { return &Pool{nclasses: nclasses} }
+
+// Idle returns the number of records currently parked in the free list.
+func (p *Pool) Idle() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
+// get returns a record with zeroed slots and metadata.
+func (p *Pool) get() *Record {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		r.Start, r.End, r.MaxSeq = 0, 0, 0
+		return r
+	}
+	return &Record{Slots: make([]Slot, p.nclasses)}
+}
+
+// put recycles a record. Slots are zeroed here so pooled records never pin
+// events (or closure-group arrays) beyond their buffer lifetime.
+func (p *Pool) put(r *Record) {
+	if p == nil || r == nil || len(r.Slots) != p.nclasses || len(p.free) >= maxPoolIdle {
+		return
+	}
+	clear(r.Slots)
+	p.free = append(p.free, r)
+}
+
+// Get returns a blank record (zeroed slots and metadata) for callers that
+// assemble composites slot by slot (KSEQ). With a nil pool it allocates.
+func (p *Pool) Get(nclasses int) *Record {
+	if p == nil {
+		return &Record{Slots: make([]Slot, nclasses)}
+	}
+	return p.get()
+}
+
+// Recycle returns a record that never entered a buffer (e.g. a candidate
+// that failed its group predicate) to the pool. No-op on a nil pool.
+func (p *Pool) Recycle(r *Record) { p.put(r) }
+
+// Leaf builds a single-event record like the package-level Leaf, reusing a
+// pooled record when one is available.
+func (p *Pool) Leaf(e *event.Event, class, nclasses int) *Record {
+	if p == nil {
+		return Leaf(e, class, nclasses)
+	}
+	r := p.get()
+	r.Start, r.End, r.MaxSeq = e.Ts, e.Ts, e.Seq
+	r.Slots[class] = Slot{E: e}
+	return r
+}
+
+// Combine merges two records with disjoint slot sets like the package-level
+// Combine, reusing a pooled record when one is available.
+func (p *Pool) Combine(l, r *Record) *Record {
+	if p == nil {
+		return Combine(l, r)
+	}
+	out := p.get()
+	copy(out.Slots, l.Slots)
+	for i := range r.Slots {
+		if r.Slots[i].IsSet() {
+			out.Slots[i] = r.Slots[i]
+		}
+	}
+	out.Start = min(l.Start, r.Start)
+	out.End = max(l.End, r.End)
+	out.MaxSeq = max(l.MaxSeq, r.MaxSeq)
+	return out
+}
+
+// Clone copies a record so the copy can live in a second buffer without
+// violating the single-owner rule pooling relies on.
+func (p *Pool) Clone(r *Record) *Record {
+	var out *Record
+	if p == nil {
+		out = &Record{Slots: make([]Slot, len(r.Slots))}
+	} else {
+		out = p.get()
+	}
+	copy(out.Slots, r.Slots)
+	out.Start, out.End, out.MaxSeq = r.Start, r.End, r.MaxSeq
+	return out
+}

@@ -1,0 +1,118 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func poolEv(seq uint64, ts int64) *event.Event {
+	e := event.NewStock(seq, ts, 1, "IBM", 10, 10)
+	return e
+}
+
+// TestPoolEvictionRecycles checks the recycle points: eviction and
+// consumed-prefix drops park records in the pool, and subsequent Leaf
+// calls reuse them without allocating new slot vectors.
+func TestPoolEvictionRecycles(t *testing.T) {
+	p := NewPool(2)
+	b := New()
+	b.SetPool(p)
+	for i := 0; i < 10; i++ {
+		b.Append(p.Leaf(poolEv(uint64(i+1), int64(i)), 0, 2))
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("idle = %d before eviction, want 0", p.Idle())
+	}
+	if n := b.EvictBefore(5); n != 5 {
+		t.Fatalf("evicted %d, want 5", n)
+	}
+	if p.Idle() != 5 {
+		t.Fatalf("idle = %d after evicting 5, want 5", p.Idle())
+	}
+	r := p.Leaf(poolEv(11, 20), 1, 2)
+	if p.Idle() != 4 {
+		t.Fatalf("idle = %d after reuse, want 4", p.Idle())
+	}
+	// the recycled record must be fully reset
+	if r.Slots[0].IsSet() || !r.Slots[1].IsSet() || r.Start != 20 || r.End != 20 || r.MaxSeq != 11 {
+		t.Fatalf("recycled record not reset: %v", r)
+	}
+
+	b.Consume()
+	b.DropConsumedPrefix()
+	if p.Idle() != 4+5 {
+		t.Fatalf("idle = %d after dropping consumed prefix, want 9", p.Idle())
+	}
+}
+
+// TestPoolClearNoDoubleRecycle evicts part of a buffer and then clears it:
+// every record must be recycled exactly once (a double put would hand the
+// same record out twice and corrupt two buffers).
+func TestPoolClearNoDoubleRecycle(t *testing.T) {
+	p := NewPool(1)
+	b := New()
+	b.SetPool(p)
+	recs := map[*Record]bool{}
+	for i := 0; i < 100; i++ {
+		r := p.Leaf(poolEv(uint64(i+1), int64(i)), 0, 1)
+		recs[r] = true
+		b.Append(r)
+	}
+	b.EvictBefore(30) // part of the prefix, some below the compact threshold
+	b.Clear()
+	if p.Idle() != 100 {
+		t.Fatalf("idle = %d after evict+clear of 100 records, want exactly 100", p.Idle())
+	}
+	seen := map[*Record]bool{}
+	for i := 0; i < 100; i++ {
+		r := p.get()
+		if seen[r] {
+			t.Fatalf("record %p handed out twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+// TestPoolCloneIsIndependent verifies a cloned record shares no Record
+// storage with its source: recycling the source must not disturb the
+// clone.
+func TestPoolCloneIsIndependent(t *testing.T) {
+	p := NewPool(2)
+	src := p.Leaf(poolEv(1, 5), 0, 2)
+	cl := p.Clone(src)
+	if cl == src {
+		t.Fatal("clone returned the same record")
+	}
+	if cl.Start != 5 || cl.End != 5 || cl.MaxSeq != 1 || !cl.Slots[0].IsSet() {
+		t.Fatalf("clone content wrong: %v", cl)
+	}
+	p.put(src) // zeroes src's slots
+	if !cl.Slots[0].IsSet() || cl.Slots[0].E == nil {
+		t.Fatal("recycling the source corrupted the clone")
+	}
+}
+
+// TestNilPoolFallsBack: all pool entry points must work with a nil pool
+// (plain allocation), which is what operator unit tests rely on.
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	l := p.Leaf(poolEv(1, 1), 0, 2)
+	r := p.Leaf(poolEv(2, 2), 1, 2)
+	c := p.Combine(l, r)
+	if c.Start != 1 || c.End != 2 || c.MaxSeq != 2 {
+		t.Fatalf("nil-pool Combine wrong: %v", c)
+	}
+	cl := p.Clone(c)
+	if cl.Start != 1 || cl.End != 2 || !cl.Slots[0].IsSet() || !cl.Slots[1].IsSet() {
+		t.Fatalf("nil-pool Clone wrong: %v", cl)
+	}
+	g := p.Get(2)
+	if len(g.Slots) != 2 {
+		t.Fatalf("nil-pool Get wrong arity: %v", g)
+	}
+	p.Recycle(g) // no-op, must not panic
+	if p.Idle() != 0 {
+		t.Fatal("nil pool reports idle records")
+	}
+}

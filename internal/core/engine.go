@@ -128,16 +128,24 @@ type Engine struct {
 
 	reorder *operator.Reorderer
 
+	// pool recycles buffer records across the whole plan (and across plan
+	// switches): records return to it at eviction, consumed-prefix drops
+	// and buffer clears, making steady-state ingest allocation-free.
+	pool *buffer.Pool
+
 	now        int64
 	batchCount int
 	batchFill  int
+	lastSeq    uint64 // largest arrival sequence number observed/assigned
 	finalSet   map[int]bool
+
+	renv expr.RecordEnv // reused RETURN-clause environment
 
 	// Counters are atomics so Snapshot may be read from another goroutine
 	// (the concurrent runtime aggregates Stats while workers run). The
 	// engine itself remains single-writer: Process/Flush/Sync must not be
 	// called concurrently.
-	seq      atomic.Uint64
+	events   atomic.Uint64
 	matches  atomic.Uint64
 	rounds   atomic.Uint64
 	switches atomic.Uint64
@@ -170,6 +178,10 @@ func NewEngine(q *query.Query, cfg Config, emit func(*Match)) (*Engine, error) {
 		return nil, err
 	}
 	e.plan = p
+	e.pool = buffer.NewPool(q.Info.NumClasses())
+	for _, b := range p.Buffers {
+		b.SetPool(e.pool)
+	}
 
 	if err := e.compileReturn(); err != nil {
 		return nil, err
@@ -258,34 +270,68 @@ func (e *Engine) compileReturn() error {
 
 // Process feeds one primitive event. Events must arrive in non-decreasing
 // timestamp order unless MaxDisorder is configured.
+//
+// Sequence numbers: when ev.Seq is already set and monotone (a source such
+// as the concurrent runtime or the workload generators pre-stamped it),
+// the engine adopts it without touching the event, so one immutable event
+// may be shared by many engines with no per-engine copy. Events arriving
+// with Seq == 0 (or out of sequence order) are stamped in place, mutating
+// the event — such events must be engine-private, as before.
 func (e *Engine) Process(ev *event.Event) {
 	if e.reorder != nil {
-		for _, r := range e.reorder.Push(ev) {
-			e.ingest(r)
+		// The reordering stage re-sequences events, which may require
+		// restamping Seq after release; work on a pooled private copy so
+		// shared events stay immutable. Copies rejected by every leaf
+		// filter are in no buffer and recycle immediately; copies of
+		// dropped-late events are never made (Late short-circuits).
+		if e.reorder.Late(ev.Ts) {
+			return
+		}
+		cp := event.AcquireEvent()
+		*cp = *ev
+		for _, r := range e.reorder.Push(cp) {
+			if !e.ingest(r) {
+				event.ReleaseEvent(r)
+			}
 		}
 		return
 	}
 	e.ingest(ev)
 }
 
-func (e *Engine) ingest(ev *event.Event) {
-	ev.Seq = e.seq.Add(1)
+// ingest stamps/adopts the arrival sequence number, routes the event to the
+// leaves and closes the batch when full. It reports whether any leaf
+// accepted the event (false means the event is referenced by no buffer).
+func (e *Engine) ingest(ev *event.Event) bool {
+	if ev.Seq == 0 || ev.Seq <= e.lastSeq {
+		e.lastSeq++
+		ev.Seq = e.lastSeq
+	} else {
+		e.lastSeq = ev.Seq
+	}
+	e.events.Add(1)
 	if ev.Ts > e.now {
 		e.now = ev.Ts
 	}
-	e.insert(ev)
+	accepted := e.insert(ev)
 	e.batchFill++
 	if e.batchFill >= e.cfg.BatchSize {
 		e.endBatch(e.now)
 	}
+	return accepted
 }
 
 // insert routes the event to every leaf of its classes. All classes read
-// the same input stream; leaf filters decide membership (§4.1).
-func (e *Engine) insert(ev *event.Event) {
+// the same input stream; leaf filters decide membership (§4.1). It reports
+// whether at least one leaf accepted the event.
+func (e *Engine) insert(ev *event.Event) bool {
+	accepted := false
 	for _, leaf := range e.plan.Leaves {
-		leaf.Insert(ev)
+		if leaf.Insert(ev) {
+			accepted = true
+		}
 	}
+	return accepted
 }
 
 // endBatch closes the current idle round and runs an assembly round if the
@@ -405,7 +451,7 @@ func (e *Engine) drain() {
 
 func (e *Engine) toMatch(rec *buffer.Record) *Match {
 	m := &Match{Start: rec.Start, End: rec.End}
-	env := expr.RecordEnv{R: rec}
+	e.renv.R = rec
 	for i, name := range e.retNames {
 		f := Field{Name: name}
 		if cls := e.retClass[i]; cls >= 0 {
@@ -416,10 +462,11 @@ func (e *Engine) toMatch(rec *buffer.Record) *Match {
 				f.Events = s.Group
 			}
 		} else {
-			f.Value = e.retEval[i](env)
+			f.Value = e.retEval[i](&e.renv)
 		}
 		m.Fields = append(m.Fields, f)
 	}
+	e.renv.R = nil
 	return m
 }
 
@@ -428,7 +475,9 @@ func (e *Engine) toMatch(rec *buffer.Record) *Match {
 func (e *Engine) Flush() {
 	if e.reorder != nil {
 		for _, r := range e.reorder.Flush() {
-			e.ingest(r)
+			if !e.ingest(r) {
+				event.ReleaseEvent(r)
+			}
 		}
 	}
 	eat, ok := e.triggerEAT()
@@ -478,6 +527,21 @@ func (e *Engine) switchPlan(r *optimizer.Result) {
 	if err != nil {
 		return
 	}
+	// Recycle the old plan's intermediate state (its records are uniquely
+	// owned, leaves are shared with the new plan and skipped), then hand
+	// the pool to the new plan's buffers.
+	leafBufs := make(map[*buffer.Buf]bool, len(e.plan.Leaves))
+	for _, leaf := range e.plan.Leaves {
+		leafBufs[leaf.Out()] = true
+	}
+	for _, b := range e.plan.Buffers {
+		if !leafBufs[b] {
+			b.Clear()
+		}
+	}
+	for _, b := range newPlan.Buffers {
+		b.SetPool(e.pool)
+	}
 	for cls, leaf := range e.plan.Leaves {
 		if !e.finalSet[cls] {
 			leaf.Out().ResetCursor()
@@ -515,7 +579,7 @@ type EngineStats struct {
 func (e *Engine) Snapshot() EngineStats {
 	return EngineStats{
 		Matches: e.matches.Load(), Rounds: e.rounds.Load(), PlanSwitches: e.switches.Load(),
-		PeakMemBytes: e.peakMem.Load(), Events: e.seq.Load(),
+		PeakMemBytes: e.peakMem.Load(), Events: e.events.Load(),
 	}
 }
 

@@ -1,0 +1,54 @@
+// Pooling support for the zero-allocation hot path: a sync.Pool-backed
+// allocator for Event structs and for the batch slices the concurrent
+// runtime ships between goroutines.
+//
+// Recycle points are strictly limited to spots where ownership is provable:
+//
+//   - the engine's reordering stage owns private event copies, so copies
+//     dropped for exceeding the disorder bound (or rejected by every leaf
+//     filter) return to the event pool;
+//   - the runtime's ingest side fills batch slices that workers drain and
+//     return once every event has been handed to the shard engines (the
+//     events themselves live on in leaf buffers; only the slice recycles).
+//
+// Events that enter a leaf buffer are referenced by records, matches and
+// closure groups with user-visible lifetimes and are deliberately never
+// recycled.
+package event
+
+import (
+	"sync"
+
+	"repro/internal/slicepool"
+)
+
+var eventPool = sync.Pool{New: func() any { return new(Event) }}
+
+// AcquireEvent returns a zeroed Event from the shared pool. The caller owns
+// it until it is handed to an engine; events that never reach a buffer may
+// be returned with ReleaseEvent.
+func AcquireEvent() *Event { return eventPool.Get().(*Event) }
+
+// ReleaseEvent recycles an event the caller exclusively owns. The event is
+// zeroed; the caller must not use it afterwards.
+func ReleaseEvent(e *Event) {
+	if e == nil {
+		return
+	}
+	*e = Event{}
+	eventPool.Put(e)
+}
+
+// batchPool recycles the []*Event batch slices the concurrent runtime
+// sends from the ingest side to shard workers. See internal/slicepool for
+// the zero-allocation boxing scheme.
+var batchPool slicepool.Pool[*Event]
+
+// GetBatch returns an empty batch slice with whatever capacity a previous
+// batch left behind.
+func GetBatch() []*Event { return batchPool.Get() }
+
+// PutBatch recycles a batch slice once its events have been handed off.
+// The slice's event pointers are cleared; the events themselves are owned
+// by the engines now and are not touched.
+func PutBatch(b []*Event) { batchPool.Put(b) }

@@ -1,0 +1,47 @@
+package event
+
+import "testing"
+
+func TestAcquireReleaseEvent(t *testing.T) {
+	e := AcquireEvent()
+	if e.Schema != nil || e.Seq != 0 || len(e.Vals) != 0 {
+		t.Fatalf("acquired event not zeroed: %+v", e)
+	}
+	*e = *NewStock(7, 42, 1, "IBM", 10, 20)
+	ReleaseEvent(e)
+	// The same (or another) pooled event must come back zeroed.
+	e2 := AcquireEvent()
+	if e2.Schema != nil || e2.Seq != 0 || e2.Ts != 0 || e2.Vals != nil {
+		t.Fatalf("released event leaked state: %+v", e2)
+	}
+	ReleaseEvent(e2)
+	ReleaseEvent(nil) // must not panic
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := GetBatch()
+	if len(b) != 0 {
+		t.Fatalf("batch not empty: %d", len(b))
+	}
+	for i := 0; i < 100; i++ {
+		b = append(b, NewStock(uint64(i+1), int64(i), 1, "IBM", 1, 1))
+	}
+	PutBatch(b)
+	b2 := GetBatch()
+	if len(b2) != 0 {
+		t.Fatalf("recycled batch not reset: len %d", len(b2))
+	}
+	// Whether or not the same backing array comes back (sync.Pool may have
+	// dropped it), the pointers must have been cleared on Put so events
+	// are not pinned.
+	if cap(b2) >= 100 {
+		s := b2[:100]
+		for i, e := range s {
+			if e != nil {
+				t.Fatalf("recycled batch still pins event at %d", i)
+			}
+		}
+	}
+	PutBatch(b2)
+	PutBatch(nil) // must not panic
+}

@@ -406,8 +406,7 @@ func Fig14(scale Scale) (*Result, error) {
 		seg, segStart := 0, 0
 		start := time.Now()
 		for i, ev := range all {
-			cp := *ev
-			eng.Process(&cp)
+			eng.Process(ev)
 			if i+1 == bounds[seg] {
 				elapsed := time.Since(start).Seconds()
 				perSegment[seg][di] = float64(i+1-segStart) / elapsed

@@ -80,7 +80,7 @@ func (c *Conj) Assemble(eat, now int64) {
 			if !c.checks.ok(br, pr) {
 				continue
 			}
-			c.out.Append(buffer.Combine(br, pr))
+			c.out.Append(c.out.Pool().Combine(br, pr))
 			c.emitted++
 		}
 	}

@@ -5,10 +5,10 @@ import (
 )
 
 // Disj evaluates disjunction (§4.4.4): the union of its inputs, merged by
-// end time. Output records are the input records themselves (a copy of the
-// slot vector is unnecessary because records are immutable once buffered),
-// matching the paper's observation that disjunction results need no
-// materialization.
+// end time. Output records are shallow copies of the input records: the
+// paper observes disjunction needs no materialization, but record pooling
+// requires each record to live in exactly one buffer, so the slot vector
+// is copied (events themselves are never duplicated).
 type Disj struct {
 	children []Node
 	out      *buffer.Buf
@@ -67,7 +67,7 @@ func (d *Disj) Assemble(eat, now int64) {
 		if r.Start < eat {
 			continue
 		}
-		d.out.Append(r)
+		d.out.Append(d.out.Pool().Clone(r))
 		d.emitted++
 	}
 	for _, ch := range d.children {

@@ -41,6 +41,12 @@ type KSeq struct {
 
 	dropEnd bool
 
+	// reused scratch: the eligible-event slice of emitGroups and the
+	// predicate environments (no per-candidate boxing or slice growth).
+	eligible []*event.Event
+	tenv     triEnv
+	renv     expr.RecordEnv
+
 	scanned uint64
 	emitted uint64
 }
@@ -200,7 +206,7 @@ func (k *KSeq) emitGroups(sr, er *buffer.Record) {
 	default: // trailing closure
 		lo, hi = sr.End, sr.Start+k.window+1
 	}
-	var eligible []*event.Event
+	eligible := k.eligible[:0]
 	from := k.mid.LowerBoundEnd(lo + 1)
 	for j := from; j < k.mid.Len(); j++ {
 		mr := k.mid.At(j)
@@ -211,8 +217,13 @@ func (k *KSeq) emitGroups(sr, er *buffer.Record) {
 			continue
 		}
 		k.scanned++
-		if k.perEvent != nil && !k.perEvent(triEnv{s: sr, e: er, m: mr.Slots[k.cls].E, cls: k.cls}) {
-			continue
+		if k.perEvent != nil {
+			k.tenv = triEnv{s: sr, e: er, m: mr.Slots[k.cls].E, cls: k.cls}
+			ok := k.perEvent(&k.tenv)
+			k.tenv = triEnv{}
+			if !ok {
+				continue
+			}
 		}
 		eligible = append(eligible, mr.Slots[k.cls].E)
 	}
@@ -229,12 +240,18 @@ func (k *KSeq) emitGroups(sr, er *buffer.Record) {
 	default: // star: zero or more
 		k.emitOne(sr, er, eligible)
 	}
+	// Keep the grown backing array as scratch, but drop the event
+	// pointers: a stale tail would pin a burst's events past their
+	// buffer lifetime (emitOne copied what it kept).
+	clear(eligible)
+	k.eligible = eligible[:0]
 }
 
 // emitOne assembles one composite from the pair and the group, applies the
 // window and group predicates, and appends it to the output.
 func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
-	rec := &buffer.Record{Slots: make([]buffer.Slot, k.nclasses)}
+	pool := k.out.Pool()
+	rec := pool.Get(k.nclasses)
 	var start, end int64
 	var maxSeq uint64
 	first := true
@@ -279,14 +296,22 @@ func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
 		}
 	}
 	if first {
+		pool.Recycle(rec)
 		return // star closure with no start, no end and empty group
 	}
 	rec.Start, rec.End, rec.MaxSeq = start, end, maxSeq
 	if rec.End-rec.Start > k.window {
+		pool.Recycle(rec)
 		return
 	}
-	if k.group != nil && !k.group(expr.RecordEnv{R: rec}) {
-		return
+	if k.group != nil {
+		k.renv.R = rec
+		ok := k.group(&k.renv)
+		k.renv.R = nil
+		if !ok {
+			pool.Recycle(rec)
+			return
+		}
 	}
 	if k.end == nil {
 		// trailing closures confirm out of end order (see AppendUnordered)

@@ -21,6 +21,10 @@ type Leaf struct {
 	filter   expr.Predicate // nil accepts everything
 	out      *buffer.Buf
 
+	// env is the reused filter environment: passing &env keeps the
+	// interface conversion allocation-free on the per-event hot path.
+	env expr.EventEnv
+
 	// stats callbacks, set by the engine's sampling collectors.
 	onArrive func(e *event.Event, passed bool)
 }
@@ -28,7 +32,8 @@ type Leaf struct {
 // NewLeaf creates a leaf for class (of nclasses total) with an optional
 // pushed-down single-class filter.
 func NewLeaf(class, nclasses int, filter expr.Predicate) *Leaf {
-	return &Leaf{class: class, nclasses: nclasses, filter: filter, out: buffer.New()}
+	return &Leaf{class: class, nclasses: nclasses, filter: filter, out: buffer.New(),
+		env: expr.EventEnv{Class: class}}
 }
 
 // Class returns the event class index the leaf stores.
@@ -41,14 +46,19 @@ func (l *Leaf) SetObserver(f func(e *event.Event, passed bool)) { l.onArrive = f
 // Insert applies the pushed-down filter and buffers the event. It reports
 // whether the event was accepted.
 func (l *Leaf) Insert(e *event.Event) bool {
-	passed := l.filter == nil || l.filter(expr.EventEnv{Class: l.class, E: e})
+	passed := true
+	if l.filter != nil {
+		l.env.E = e
+		passed = l.filter(&l.env)
+		l.env.E = nil
+	}
 	if l.onArrive != nil {
 		l.onArrive(e, passed)
 	}
 	if !passed {
 		return false
 	}
-	l.out.Append(buffer.Leaf(e, l.class, l.nclasses))
+	l.out.Append(l.out.Pool().Leaf(e, l.class, l.nclasses))
 	return true
 }
 

@@ -31,6 +31,8 @@ type NegFilter struct {
 	specs  []NegSpec
 	window int64
 
+	env expr.PairEnv // reused predicate environment (no per-probe boxing)
+
 	scanned uint64
 	emitted uint64
 }
@@ -77,7 +79,9 @@ func (n *NegFilter) Assemble(eat, now int64) {
 			break // cannot confirm yet; later records end later
 		}
 		if !n.Negated(rec) {
-			n.out.Append(rec)
+			// Clone: the child drops its consumed prefix below, and with
+			// pooling a record must not live in two buffers.
+			n.out.Append(n.out.Pool().Clone(rec))
 			n.emitted++
 		}
 		processed++
@@ -130,7 +134,13 @@ func (n *NegFilter) negatedBy(rec *buffer.Record, spec *NegSpec) bool {
 				continue
 			}
 			n.scanned++
-			if spec.Pred == nil || spec.Pred(expr.PairEnv{L: b, R: rec}) {
+			if spec.Pred == nil {
+				return true
+			}
+			n.env.L, n.env.R = b, rec
+			hit := spec.Pred(&n.env)
+			n.env.L, n.env.R = nil, nil
+			if hit {
 				return true
 			}
 		}

@@ -49,6 +49,10 @@ type combineChecks struct {
 	window int64
 	guards []PairGuard
 	pred   expr.Predicate // nil means no value constraints
+
+	// env is the reused predicate environment; passing &env avoids boxing
+	// a fresh PairEnv per candidate pair (the assembly hot path).
+	env expr.PairEnv
 }
 
 // ok reports whether l and r may be combined: the combined span must fit
@@ -70,8 +74,13 @@ func (c *combineChecks) ok(l, r *buffer.Record) bool {
 			return false
 		}
 	}
-	if c.pred != nil && !c.pred(expr.PairEnv{L: l, R: r}) {
-		return false
+	if c.pred != nil {
+		c.env.L, c.env.R = l, r
+		ok := c.pred(&c.env)
+		c.env.L, c.env.R = nil, nil
+		if !ok {
+			return false
+		}
 	}
 	return true
 }

@@ -35,6 +35,8 @@ type NSeq struct {
 	pred    expr.Predicate // constraints between negation class(es) and other side
 	drop    bool
 
+	env expr.PairEnv // reused predicate environment (no per-probe boxing)
+
 	scanned uint64
 	emitted uint64
 }
@@ -75,6 +77,14 @@ func (n *NSeq) Stats() (scanned, emitted uint64) { return n.scanned, n.emitted }
 // Reset clears the output buffer.
 func (n *NSeq) Reset() { n.out.Clear() }
 
+// predOK evaluates the negation predicate through the reused environment.
+func (n *NSeq) predOK(l, r *buffer.Record) bool {
+	n.env.L, n.env.R = l, r
+	ok := n.pred(&n.env)
+	n.env.L, n.env.R = nil, nil
+	return ok
+}
+
 // Assemble runs one round.
 func (n *NSeq) Assemble(eat, now int64) {
 	n.other.Assemble(eat, now)
@@ -86,22 +96,27 @@ func (n *NSeq) Assemble(eat, now int64) {
 }
 
 // assembleLeft is Algorithm 2: right records are consumed; each is paired
-// with its negating event (the latest eligible one) or NULL.
+// with its negating event (the latest eligible one) or NULL. The child
+// record is always copied into the output (never aliased): with pooling,
+// a record must live in exactly one buffer.
 func (n *NSeq) assembleLeft(eat int64) {
 	rbuf := n.other.Out()
+	pool := n.out.Pool()
 	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
 		rr := rbuf.At(i)
 		if rr.Start < eat {
 			continue
 		}
 		b := n.latestNegBefore(rr)
-		out := rr
+		var out *buffer.Record
 		if b != nil {
-			out = buffer.Combine(rr, b)
+			out = pool.Combine(rr, b)
 			// The negating event is not part of the match output: keep
 			// the record's interval (and MaxSeq) that of the non-negated
 			// side so window checks and watermarks exclude it.
 			out.Start, out.End, out.MaxSeq = rr.Start, rr.End, rr.MaxSeq
+		} else {
+			out = pool.Clone(rr)
 		}
 		n.out.Append(out)
 		n.emitted++
@@ -119,7 +134,7 @@ func (n *NSeq) latestNegBefore(rr *buffer.Record) *buffer.Record {
 		for j := hi - 1; j >= 0; j-- {
 			b := nb.At(j)
 			n.scanned++
-			if n.pred != nil && !n.pred(expr.PairEnv{L: b, R: rr}) {
+			if n.pred != nil && !n.predOK(b, rr) {
 				continue
 			}
 			if best == nil || b.End > best.End {
@@ -137,6 +152,7 @@ func (n *NSeq) latestNegBefore(rr *buffer.Record) *buffer.Record {
 // unconsumed region may be confirmable, so consumption is partial.
 func (n *NSeq) assembleRight(eat, now int64) {
 	lbuf := n.other.Out()
+	pool := n.out.Pool()
 	processed := 0
 	for i := lbuf.Cursor(); i < lbuf.Len(); i++ {
 		lr := lbuf.At(i)
@@ -146,10 +162,12 @@ func (n *NSeq) assembleRight(eat, now int64) {
 			// record nor any later one (they end later) can be confirmed.
 			break
 		}
-		out := lr
+		var out *buffer.Record
 		if b != nil {
-			out = buffer.Combine(lr, b)
+			out = pool.Combine(lr, b)
 			out.Start, out.End, out.MaxSeq = lr.Start, lr.End, lr.MaxSeq
+		} else {
+			out = pool.Clone(lr)
 		}
 		n.out.Append(out)
 		n.emitted++
@@ -176,7 +194,7 @@ func (n *NSeq) firstNegAfter(lr *buffer.Record) *buffer.Record {
 			if b.End-lr.Start > n.window {
 				break // outside the window; later records only worse
 			}
-			if n.pred != nil && !n.pred(expr.PairEnv{L: lr, R: b}) {
+			if n.pred != nil && !n.predOK(lr, b) {
 				continue
 			}
 			if best == nil || b.End < best.End {

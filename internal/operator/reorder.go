@@ -1,20 +1,36 @@
 package operator
 
 import (
-	"sort"
-
 	"repro/internal/event"
 )
+
+// reorderItem is one pending event plus its arrival number: the heap
+// orders by (Ts, Seq, arrival), so events whose Seq ties (notably the
+// Seq==0 events of the public API, which are stamped only after release)
+// still release in arrival order — the same stable order the previous
+// sort.SliceStable implementation produced.
+type reorderItem struct {
+	ev      *event.Event
+	arrival uint64
+}
 
 // Reorderer is the reordering stage §4.1 places after leaf buffers when
 // sources deliver events out of time order: it buffers events for a bounded
 // delay and releases them sorted by (timestamp, sequence). Events arriving
 // later than the bound (older than the last released timestamp) are
 // dropped and counted.
+//
+// The pending set is a binary min-heap and the newest timestamp is tracked
+// as a running maximum, so Push costs O(log n) per event instead of the
+// former O(n) rescan of every pending event plus an O(n log n) sort per
+// release.
 type Reorderer struct {
 	maxDelay int64
-	pending  []*event.Event
-	released int64 // no event at or before this timestamp is pending
+	pending  []reorderItem // binary min-heap by (Ts, Seq, arrival)
+	arrivals uint64
+	newest   int64          // running max of every pushed timestamp
+	released int64          // no event at or before this timestamp is pending
+	out      []*event.Event // reused release buffer
 	dropped  uint64
 }
 
@@ -22,7 +38,7 @@ type Reorderer struct {
 // ticks: an event may arrive at most maxDelay ticks after a later-stamped
 // event and still be re-sequenced.
 func NewReorderer(maxDelay int64) *Reorderer {
-	return &Reorderer{maxDelay: maxDelay, released: -1 << 62}
+	return &Reorderer{maxDelay: maxDelay, newest: -1 << 62, released: -1 << 62}
 }
 
 // Dropped returns the number of events discarded for arriving beyond the
@@ -32,46 +48,105 @@ func (r *Reorderer) Dropped() uint64 { return r.dropped }
 // Pending returns the number of buffered events not yet released.
 func (r *Reorderer) Pending() int { return len(r.pending) }
 
+// Late reports whether an event with timestamp ts would be dropped for
+// arriving beyond the disorder bound, counting the drop when so. Callers
+// that copy events before Push use it to skip the copy for dropped events.
+func (r *Reorderer) Late(ts int64) bool {
+	if ts <= r.released {
+		r.dropped++
+		return true
+	}
+	return false
+}
+
 // Push adds an event and returns the events that are now safe to release
-// (all events with ts <= newest - maxDelay), in timestamp order.
+// (all events with ts <= newest - maxDelay), in (timestamp, sequence)
+// order. The returned slice is reused by the next Push or Flush call;
+// callers must consume (or copy) it before pushing again.
 func (r *Reorderer) Push(e *event.Event) []*event.Event {
 	if e.Ts <= r.released {
 		r.dropped++
 		return nil
 	}
-	r.pending = append(r.pending, e)
-	newest := int64(-1 << 62)
-	for _, p := range r.pending {
-		if p.Ts > newest {
-			newest = p.Ts
-		}
+	r.arrivals++
+	r.push(reorderItem{ev: e, arrival: r.arrivals})
+	if e.Ts > r.newest {
+		r.newest = e.Ts
 	}
-	cutoff := newest - r.maxDelay
-	return r.releaseUpTo(cutoff)
+	return r.releaseUpTo(r.newest - r.maxDelay)
 }
 
-// Flush releases every pending event regardless of the disorder bound.
+// Flush releases every pending event regardless of the disorder bound. The
+// returned slice is reused like Push's.
 func (r *Reorderer) Flush() []*event.Event {
 	return r.releaseUpTo(1<<62 - 1)
 }
 
+// releaseUpTo pops pending events with Ts <= cutoff into the reused output
+// buffer. Stale pointers beyond the new batch are cleared so a previous,
+// larger batch cannot pin events past their lifetime (only the returned
+// batch itself stays referenced until the next call).
 func (r *Reorderer) releaseUpTo(cutoff int64) []*event.Event {
-	if len(r.pending) == 0 {
+	if len(r.pending) == 0 || r.pending[0].ev.Ts > cutoff {
 		return nil
 	}
-	sort.SliceStable(r.pending, func(i, j int) bool {
-		if r.pending[i].Ts != r.pending[j].Ts {
-			return r.pending[i].Ts < r.pending[j].Ts
-		}
-		return r.pending[i].Seq < r.pending[j].Seq
-	})
-	n := sort.Search(len(r.pending), func(i int) bool { return r.pending[i].Ts > cutoff })
-	if n == 0 {
-		return nil
+	out := r.out[:0]
+	for len(r.pending) > 0 && r.pending[0].ev.Ts <= cutoff {
+		out = append(out, r.pop())
 	}
-	out := make([]*event.Event, n)
-	copy(out, r.pending[:n])
-	r.pending = append(r.pending[:0], r.pending[n:]...)
-	r.released = out[n-1].Ts
+	clear(out[len(out):cap(out)])
+	r.out = out
+	r.released = out[len(out)-1].Ts
 	return out
+}
+
+// reorderLess orders the heap by (Ts, Seq, arrival).
+func reorderLess(a, b reorderItem) bool {
+	if a.ev.Ts != b.ev.Ts {
+		return a.ev.Ts < b.ev.Ts
+	}
+	if a.ev.Seq != b.ev.Seq {
+		return a.ev.Seq < b.ev.Seq
+	}
+	return a.arrival < b.arrival
+}
+
+func (r *Reorderer) push(it reorderItem) {
+	h := append(r.pending, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !reorderLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	r.pending = h
+}
+
+func (r *Reorderer) pop() *event.Event {
+	h := r.pending
+	top := h[0].ev
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = reorderItem{} // release the pointer to the GC
+	h = h[:n]
+	for i := 0; ; {
+		l, rt := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && reorderLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if rt < n && reorderLess(h[rt], h[smallest]) {
+			smallest = rt
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	r.pending = h
+	return top
 }

@@ -1,0 +1,192 @@
+package operator
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+// reorderModel is the pre-heap reference implementation (sort the whole
+// pending set per push, rescan for the newest timestamp). The heap
+// rewrite must preserve its observable behavior exactly: release order,
+// release timing, and drop counts.
+type reorderModel struct {
+	maxDelay int64
+	pending  []*event.Event
+	released int64
+	dropped  uint64
+}
+
+func newReorderModel(maxDelay int64) *reorderModel {
+	return &reorderModel{maxDelay: maxDelay, released: -1 << 62}
+}
+
+func (r *reorderModel) push(e *event.Event) []*event.Event {
+	if e.Ts <= r.released {
+		r.dropped++
+		return nil
+	}
+	r.pending = append(r.pending, e)
+	newest := int64(-1 << 62)
+	for _, p := range r.pending {
+		if p.Ts > newest {
+			newest = p.Ts
+		}
+	}
+	return r.releaseUpTo(newest - r.maxDelay)
+}
+
+func (r *reorderModel) flush() []*event.Event {
+	return r.releaseUpTo(1<<62 - 1)
+}
+
+func (r *reorderModel) releaseUpTo(cutoff int64) []*event.Event {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	sort.SliceStable(r.pending, func(i, j int) bool {
+		if r.pending[i].Ts != r.pending[j].Ts {
+			return r.pending[i].Ts < r.pending[j].Ts
+		}
+		return r.pending[i].Seq < r.pending[j].Seq
+	})
+	n := sort.Search(len(r.pending), func(i int) bool { return r.pending[i].Ts > cutoff })
+	if n == 0 {
+		return nil
+	}
+	out := make([]*event.Event, n)
+	copy(out, r.pending[:n])
+	r.pending = append(r.pending[:0], r.pending[n:]...)
+	r.released = out[n-1].Ts
+	return out
+}
+
+// TestReordererRunningMax pins the running-max fix: after the newest event
+// is released is impossible (maxDelay >= 1 keeps the max pending), but the
+// cutoff must still track the largest timestamp ever pushed, not the
+// current pending set.
+func TestReordererRunningMax(t *testing.T) {
+	r := NewReorderer(5)
+	if out := r.Push(event.NewStock(1, 100, 0, "X", 1, 1)); len(out) != 0 {
+		t.Fatalf("nothing releasable yet, got %d", len(out))
+	}
+	// ts=107 moves the cutoff to 102: the ts=100 event must release.
+	out := r.Push(event.NewStock(2, 107, 0, "X", 1, 1))
+	if len(out) != 1 || out[0].Ts != 100 {
+		t.Fatalf("expected release of ts=100, got %v", out)
+	}
+	// A late-but-in-bound event (ts=103 > released=100, above cutoff 102)
+	// is buffered; the cutoff still derives from the running max 107.
+	if out := r.Push(event.NewStock(3, 103, 0, "X", 1, 1)); len(out) != 0 {
+		t.Fatalf("ts=103 is above cutoff 102 and must buffer, got %v", tss(out))
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 (ts 103 and 107)", r.Pending())
+	}
+	// Beyond the bound: dropped, counted.
+	if out := r.Push(event.NewStock(4, 99, 0, "X", 1, 1)); len(out) != 0 {
+		t.Fatalf("late event must not release anything, got %v", out)
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	rest := r.Flush()
+	if len(rest) != 2 || rest[0].Ts != 103 || rest[1].Ts != 107 {
+		t.Fatalf("flush should release ts=103,107, got %v", tss(rest))
+	}
+}
+
+// TestReordererStableOnTies pins release-order stability for events whose
+// (Ts, Seq) fully collide — the public-API case where Seq is 0 until the
+// engine stamps it after release. They must come out in arrival order.
+func TestReordererStableOnTies(t *testing.T) {
+	r := NewReorderer(2)
+	a := event.NewStock(0, 5, 1, "A", 1, 1)
+	b := event.NewStock(0, 6, 2, "B", 1, 1)
+	c := event.NewStock(0, 5, 3, "C", 1, 1)
+	d := event.NewStock(0, 5, 4, "D", 1, 1)
+	var out []*event.Event
+	for _, e := range []*event.Event{a, b, c, d} {
+		out = append(out, r.Push(e)...)
+	}
+	out = append(out, r.Flush()...)
+	want := []*event.Event{a, c, d, b} // ts 5,5,5 in arrival order, then 6
+	if !sameEvents(out, want) {
+		t.Fatalf("tie release order wrong: got %v", tss(out))
+	}
+}
+
+// TestReordererMatchesModel is the model-based property test: on random
+// bounded-disorder streams (with duplicates and bursts), the heap
+// implementation and the reference model release identical event sequences
+// at identical times and count identical drops.
+func TestReordererMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bound := int64(1 + rng.Intn(25))
+		heap := NewReorderer(bound)
+		model := newReorderModel(bound)
+
+		ts := int64(0)
+		for i := 0; i < 300; i++ {
+			// random walk with occasional large jumps and out-of-bound
+			// stragglers so both paths (buffer, drop) are exercised
+			switch rng.Intn(10) {
+			case 0:
+				ts += bound * 3
+			case 1:
+				ts -= bound * 2
+			default:
+				ts += int64(rng.Intn(3))
+			}
+			if ts < 0 {
+				ts = 0
+			}
+			// Seq deliberately collides (including runs of Seq==0-like
+			// duplicates): ties must release in arrival order, exactly as
+			// the stable-sort model does.
+			e := event.NewStock(uint64(i/3), ts, int64(i), "X", 1, 1)
+			got := heap.Push(e)
+			want := model.push(e)
+			if !sameEvents(got, want) {
+				t.Logf("seed %d push %d: got %v want %v", seed, i, tss(got), tss(want))
+				return false
+			}
+			if heap.Dropped() != model.dropped {
+				t.Logf("seed %d push %d: dropped %d vs %d", seed, i, heap.Dropped(), model.dropped)
+				return false
+			}
+			if heap.Pending() != len(model.pending) {
+				t.Logf("seed %d push %d: pending %d vs %d", seed, i, heap.Pending(), len(model.pending))
+				return false
+			}
+		}
+		return sameEvents(heap.Flush(), model.flush())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameEvents(a, b []*event.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func tss(evs []*event.Event) []int64 {
+	out := make([]int64, len(evs))
+	for i, e := range evs {
+		out[i] = e.Ts
+	}
+	return out
+}

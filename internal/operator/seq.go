@@ -119,7 +119,7 @@ func (s *Seq) tryCombine(lr, rr *buffer.Record) {
 	if !s.checks.ok(lr, rr) {
 		return
 	}
-	s.out.Append(buffer.Combine(lr, rr))
+	s.out.Append(s.out.Pool().Combine(lr, rr))
 	s.emitted++
 }
 

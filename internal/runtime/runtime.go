@@ -131,8 +131,13 @@ type Runtime struct {
 	live    map[QueryID]*registered
 	retired core.EngineStats // folded counters of unregistered queries
 	pending [][]*event.Event
-	nPend   int
-	lastTs  int64
+	// pendingSpare is the second outer batch array of the double buffer:
+	// sendLocked swaps it in so a flush allocates neither the outer array
+	// nor (thanks to event.GetBatch) the per-shard slices.
+	pendingSpare [][]*event.Event
+	nPend        int
+	lastTs       int64
+	lastSeq      uint64 // global arrival sequence stamp (see Ingest)
 
 	// sendMu serializes the worker-queue send phases. It is only ever
 	// acquired while holding mu (and released after mu is dropped), which
@@ -153,6 +158,7 @@ func New(cfg Config) *Runtime {
 		pending:  make([][]*event.Event, cfg.Shards),
 		lastTs:   math.MinInt64 / 2,
 	}
+	rt.pendingSpare = make([][]*event.Event, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen)}
 		rt.workers = append(rt.workers, w)
@@ -227,12 +233,14 @@ func (rt *Runtime) Unregister(id QueryID) error {
 	return nil
 }
 
-// Ingest feeds one event. Timestamps must be non-decreasing; the caller
-// must not reuse the event afterwards (shard engines stamp sequence
-// numbers on private copies, but the attribute slice is shared). Ingest
-// blocks when a worker queue is full (backpressure) and is safe to call
-// concurrently with Register/Unregister/Stats, though multi-producer
-// ingest needs external ordering to keep timestamps monotone.
+// Ingest feeds one event. Timestamps must be non-decreasing; the event's
+// Seq is overwritten with a globally monotone arrival stamp here, and every
+// shard engine then shares the event without copying (engines adopt
+// pre-stamped sequence numbers and treat the event as immutable), so the
+// caller must not reuse or mutate the event afterwards. Ingest blocks when
+// a worker queue is full (backpressure) and is safe to call concurrently
+// with Register/Unregister/Stats, though multi-producer ingest needs
+// external ordering to keep timestamps monotone.
 func (rt *Runtime) Ingest(ev *event.Event) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -243,7 +251,12 @@ func (rt *Runtime) Ingest(ev *event.Event) error {
 		return fmt.Errorf("%w: got ts %d after %d", ErrOutOfOrder, ev.Ts, rt.lastTs)
 	}
 	rt.lastTs = ev.Ts
+	rt.lastSeq++
+	ev.Seq = rt.lastSeq
 	s := rt.shard(ev)
+	if rt.pending[s] == nil {
+		rt.pending[s] = event.GetBatch()
+	}
 	rt.pending[s] = append(rt.pending[s], ev)
 	rt.nPend++
 	rt.ingested.Add(1)
@@ -290,7 +303,15 @@ func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
 	if !flush && op == nil {
 		return
 	}
-	rt.pending = make([][]*event.Event, rt.cfg.Shards)
+	// Double-buffer the outer array: the spare is all-nil. It can be nil
+	// itself when a second flush overlaps an in-flight send (mu is dropped
+	// below); allocate then.
+	if rt.pendingSpare != nil {
+		rt.pending = rt.pendingSpare
+		rt.pendingSpare = nil
+	} else {
+		rt.pending = make([][]*event.Event, rt.cfg.Shards)
+	}
 	rt.nPend = 0
 
 	rt.sendMu.Lock()
@@ -305,6 +326,12 @@ func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
 	}
 	rt.sendMu.Unlock()
 	rt.mu.Lock()
+	// The batch slices now belong to the workers (returned to the shared
+	// pool there); the outer array is reusable once its entries are nil.
+	clear(batches)
+	if rt.pendingSpare == nil {
+		rt.pendingSpare = batches
+	}
 }
 
 // Close flushes buffered events, final-flushes every engine (emitting all

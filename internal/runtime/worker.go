@@ -2,10 +2,11 @@ package runtime
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/slicepool"
 )
 
 // shardMsg is one unit of work on a worker's input queue: a batch of
@@ -30,15 +31,25 @@ type regOp struct {
 
 // matchSink collects one engine's emitted matches between batch
 // boundaries. It is written synchronously by the engine's emit callback
-// inside the worker goroutine, so it needs no locking.
-type matchSink struct{ buf []*core.Match }
+// inside the worker goroutine, so it needs no locking. take/recycle
+// alternate between two slices so steady-state collection reuses the same
+// backing arrays instead of allocating per batch.
+type matchSink struct{ buf, spare []*core.Match }
 
 func (s *matchSink) add(m *core.Match) { s.buf = append(s.buf, m) }
 
 func (s *matchSink) take() []*core.Match {
 	out := s.buf
-	s.buf = nil
+	s.buf = s.spare
+	s.spare = nil
 	return out
+}
+
+// recycle returns a slice obtained from take once its matches have been
+// copied out.
+func (s *matchSink) recycle(b []*core.Match) {
+	clear(b)
+	s.spare = b[:0]
 }
 
 // pendingMatch is one match waiting in the merger for its watermark.
@@ -49,6 +60,14 @@ type pendingMatch struct {
 	m     *core.Match
 	emit  func(*core.Match)
 }
+
+// matchBatchPool recycles the pendingMatch batches workers ship to the
+// merger (worker allocates, merger returns), keeping steady-state batch
+// reporting allocation-free (see internal/slicepool).
+var matchBatchPool slicepool.Pool[pendingMatch]
+
+func getMatchBatch() []pendingMatch  { return matchBatchPool.Get() }
+func putMatchBatch(b []pendingMatch) { matchBatchPool.Put(b) }
 
 // mergeMsg is one worker's batch report to the merger: the matches its
 // engines emitted this batch (sorted by end-time) and the shard's new
@@ -83,26 +102,34 @@ func (w *worker) run(out chan<- mergeMsg) {
 	var emitSeq uint64
 
 	gather := func(flush bool) []pendingMatch {
-		var batch []pendingMatch
+		batch := getMatchBatch()
 		for _, q := range queries {
 			if flush {
 				q.eng.Flush()
 			} else {
 				q.eng.Sync()
 			}
-			for _, m := range q.sink.take() {
+			taken := q.sink.take()
+			for _, m := range taken {
 				emitSeq++
 				batch = append(batch, pendingMatch{end: m.End, shard: w.id, seq: emitSeq, m: m, emit: q.emit})
 			}
+			q.sink.recycle(taken)
 		}
 		// Each engine emits in end-time order; interleave the per-engine
 		// runs into one sorted batch. seq (assigned in registration order
 		// above) breaks end-time ties, so the order is deterministic.
-		sort.Slice(batch, func(i, j int) bool {
-			if batch[i].end != batch[j].end {
-				return batch[i].end < batch[j].end
+		slices.SortFunc(batch, func(a, b pendingMatch) int {
+			if a.end != b.end {
+				if a.end < b.end {
+					return -1
+				}
+				return 1
 			}
-			return batch[i].seq < batch[j].seq
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
 		})
 		return batch
 	}
@@ -124,12 +151,15 @@ func (w *worker) run(out chan<- mergeMsg) {
 		}
 		for _, ev := range msg.events {
 			for _, q := range queries {
-				// Engines stamp sequence numbers on the event, so each
-				// gets a private copy; the value slice stays shared.
-				cp := *ev
-				q.eng.Process(&cp)
+				// The ingest side pre-stamped a globally monotone Seq, so
+				// every engine adopts it and shares the event unmutated —
+				// no per-engine copy on the hot path.
+				q.eng.Process(ev)
 			}
 		}
+		// Batch release: the events now live in engine buffers; the slice
+		// that carried them returns to the shared pool.
+		event.PutBatch(msg.events)
 		batch := gather(false)
 
 		// The shard watermark: no match this shard later produces can end
@@ -242,6 +272,7 @@ func (rt *Runtime) runMerger() {
 		for _, pm := range msg.matches {
 			h.push(pm)
 		}
+		putMatchBatch(msg.matches)
 		if msg.watermark > wms[msg.shard] {
 			wms[msg.shard] = msg.watermark
 		}

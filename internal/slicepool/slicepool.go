@@ -1,0 +1,50 @@
+// Package slicepool provides a generic sync.Pool of slices whose backing
+// arrays AND boxed slice headers both recycle, so steady-state Get/Put
+// pairs perform zero allocations. (A naive sync.Pool.Put(&b) of a local
+// slice heap-allocates a fresh *[]T box on every call — the two-pool
+// scheme threads emptied boxes back instead.)
+//
+// Put clears every element up to capacity before pooling, so a recycled
+// slice never pins the pointers a previous, larger use stored in it.
+// Safe for concurrent use; used for the runtime's ingest batches
+// (event.GetBatch/PutBatch) and worker→merger match batches.
+package slicepool
+
+import "sync"
+
+// Pool recycles []T slices across goroutines.
+type Pool[T any] struct {
+	full    sync.Pool // *[]T carrying a live backing array
+	headers sync.Pool // *[]T emptied boxes awaiting reuse
+}
+
+// Get returns an empty slice with whatever capacity a previous Put left
+// behind (nil when the pool is empty).
+func (p *Pool[T]) Get() []T {
+	v := p.full.Get()
+	if v == nil {
+		return nil
+	}
+	box := v.(*[]T)
+	b := *box
+	*box = nil
+	p.headers.Put(box)
+	return b[:0]
+}
+
+// Put recycles a slice. All elements up to capacity are zeroed; the caller
+// must not use the slice afterwards.
+func (p *Pool[T]) Put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b[:cap(b)])
+	var box *[]T
+	if v := p.headers.Get(); v != nil {
+		box = v.(*[]T)
+	} else {
+		box = new([]T)
+	}
+	*box = b[:0]
+	p.full.Put(box)
+}

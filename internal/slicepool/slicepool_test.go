@@ -1,0 +1,54 @@
+package slicepool
+
+import "testing"
+
+func TestRoundTripClearsToCap(t *testing.T) {
+	var p Pool[*int]
+	b := p.Get()
+	if b != nil {
+		t.Fatalf("empty pool must return nil, got len %d cap %d", len(b), cap(b))
+	}
+	x := 7
+	for i := 0; i < 50; i++ {
+		b = append(b, &x)
+	}
+	p.Put(b)
+	got := p.Get()
+	if len(got) != 0 {
+		t.Fatalf("recycled slice not reset: len %d", len(got))
+	}
+	if cap(got) >= 50 {
+		for i, e := range got[:50] {
+			if e != nil {
+				t.Fatalf("recycled slice pins pointer at %d", i)
+			}
+		}
+	}
+	// A shorter second use must not leave the longer first use's tail
+	// pinned after Put (Put clears to capacity).
+	got = append(got, &x)
+	p.Put(got)
+	again := p.Get()
+	if cap(again) >= 50 {
+		for i, e := range again[:cap(again)] {
+			if e != nil {
+				t.Fatalf("stale tail pinned at %d", i)
+			}
+		}
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	var p Pool[int]
+	seed := make([]int, 0, 64)
+	p.Put(seed)
+	avg := testing.AllocsPerRun(1000, func() {
+		b := p.Get()
+		b = append(b, 1, 2, 3)
+		p.Put(b)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.2f/op, want 0", avg)
+	}
+}

@@ -228,8 +228,10 @@ func NewEngine(q *Query, opts ...Option) (*Engine, error) {
 }
 
 // Process feeds one event. Events must arrive in non-decreasing timestamp
-// order unless WithMaxDisorder is set. The engine assigns arrival sequence
-// numbers; the caller should not reuse the event afterwards.
+// order unless WithMaxDisorder is set. Events carrying a pre-assigned,
+// strictly increasing Seq are adopted untouched (and may be shared with
+// other engines); events with Seq == 0 are stamped in place, so the caller
+// must not reuse them afterwards.
 func (e *Engine) Process(ev *Event) { e.eng.Process(ev) }
 
 // Flush forces a final assembly round, confirming trailing negations and
