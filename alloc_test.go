@@ -6,11 +6,13 @@
 package zstream_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/query"
+	"repro/internal/router"
 	"repro/internal/workload"
 )
 
@@ -131,5 +133,59 @@ func TestAssemblyAllocBudget(t *testing.T) {
 	budget := 0.25 + 10*matchRate
 	if avg > budget {
 		t.Fatalf("serving path allocates %.2f allocs/event, budget %.2f (%.3f matches/event)", avg, budget, matchRate)
+	}
+}
+
+// TestRouterDeliverySteadyStateZeroAllocs pins the PR 3 invariant: the
+// routed delivery path — classify a batch, deliver per-engine mini-batches
+// through the pre-admitted fast path — allocates nothing per event in
+// steady state, just like direct Process ingest.
+func TestRouterDeliverySteadyStateZeroAllocs(t *testing.T) {
+	r := router.New()
+	engines := map[int64]*core.Engine{}
+	for i := 0; i < 16; i++ {
+		q := query.MustParse(fmt.Sprintf(`
+			PATTERN A; B
+			WHERE A.name = 'S%02d' AND A.price > 50 AND B.name = 'S%02d'
+			  AND B.price < A.price - 1000000
+			WITHIN 200 units`, i%8, i%8))
+		eng, err := core.NewEngine(q, core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 64}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[int64(i)] = eng
+		r.Add(int64(i), q.Info, eng)
+	}
+	names := make([]string, 8)
+	weights := make([]float64, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	events := workload.GenStocks(workload.StockSpec{N: 45000, Seed: 5, Names: names, Weights: weights})
+	deliver := func(evs []*event.Event) {
+		for _, sb := range r.Route(evs) {
+			eng := sb.Payload.(*core.Engine)
+			for _, d := range sb.Events {
+				eng.ProcessAdmitted(d.Ev, d.Mask)
+			}
+		}
+	}
+	warm := 30000
+	deliver(events[:warm])
+	i := warm
+	avg := testing.AllocsPerRun(10000, func() {
+		deliver(events[i : i+1])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("routed steady-state delivery allocates %.2f allocs/event, want 0", avg)
+	}
+	var processed uint64
+	for _, eng := range engines {
+		processed += eng.Snapshot().Events
+	}
+	if processed == 0 {
+		t.Fatal("no engine received events; test is vacuous")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/event"
+	"repro/internal/experiments"
 	"repro/internal/nfa"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -490,15 +491,25 @@ func benchSequentialEngines(b *testing.B, qs []*query.Query, cfg core.Config, ev
 
 func benchRuntime(b *testing.B, qs []*query.Query, shards int, cfg core.Config, events []*event.Event) {
 	b.Helper()
+	benchRuntimeCfg(b, qs, runtimepkg.Config{Shards: shards, PartitionBy: "name", BatchSize: 4096}, cfg, events)
+}
+
+func benchRuntimeCfg(b *testing.B, qs []*query.Query, rcfg runtimepkg.Config, cfg core.Config, events []*event.Event) {
+	b.Helper()
 	b.ReportAllocs()
 	var matches uint64
 	for i := 0; i < b.N; i++ {
-		rt := runtimepkg.New(runtimepkg.Config{Shards: shards, PartitionBy: "name", BatchSize: 4096})
+		// Construction and registration are setup, not the serving path
+		// being measured — at fan-out scale (1024 queries x 4 shards)
+		// timing 4096 engine builds would dilute the ingest comparison.
+		b.StopTimer()
+		rt := runtimepkg.New(rcfg)
 		for _, q := range qs {
 			if _, err := rt.Register(q, cfg, func(*core.Match) {}); err != nil {
 				b.Fatal(err)
 			}
 		}
+		b.StartTimer()
 		for _, ev := range events {
 			if err := rt.Ingest(ev); err != nil {
 				b.Fatal(err)
@@ -529,6 +540,41 @@ func BenchmarkRuntimeMultiQuery(b *testing.B) {
 	b.Run("runtime-4x4", func(b *testing.B) {
 		benchRuntime(b, qs, 4, cfg, events)
 	})
+}
+
+// BenchmarkRuntimeFanout is the PR 3 headline: 256 parameterized standing
+// queries served with naive deliver-to-all fan-out versus the
+// predicate-indexed router. Naive ingest cost is O(Q) per event; the
+// router touches only the ~Q/symbols engines whose equality atoms match,
+// so the gap widens linearly with the query count.
+func BenchmarkRuntimeFanout(b *testing.B) {
+	qs := experiments.FanoutQueries(256)
+	events := experiments.FanoutEvents(20000)
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rcfg := runtimepkg.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096}
+	b.Run("naive-256", func(b *testing.B) {
+		cfg := rcfg
+		cfg.NaiveFanout = true
+		benchRuntimeCfg(b, qs, cfg, ecfg, events)
+	})
+	b.Run("router-256", func(b *testing.B) {
+		benchRuntimeCfg(b, qs, rcfg, ecfg, events)
+	})
+}
+
+// BenchmarkRuntimeFanoutScaling sweeps the standing-query count with the
+// router on: events/s should degrade far slower than 1/Q because per-event
+// work is O(matching engines + dispatch), not O(Q).
+func BenchmarkRuntimeFanoutScaling(b *testing.B) {
+	events := experiments.FanoutEvents(20000)
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rcfg := runtimepkg.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096}
+	for _, n := range []int{64, 256, 1024} {
+		qs := experiments.FanoutQueries(n)
+		b.Run(fmt.Sprintf("queries=%d", n), func(b *testing.B) {
+			benchRuntimeCfg(b, qs, rcfg, ecfg, events)
+		})
+	}
 }
 
 // BenchmarkRuntimeScaling sweeps the shard count; with GOMAXPROCS >= the

@@ -63,6 +63,7 @@ var registry = []struct {
 	{"abl-hash", experiments.AblationHash, "ablation: hash equality"},
 	{"abl-eat", experiments.AblationEAT, "ablation: EAT push-down"},
 	{"abl-batch", experiments.AblationBatchSize, "ablation: batch size"},
+	{"fanout", experiments.Fanout, "multi-query fan-out: predicate router vs naive deliver-to-all"},
 }
 
 // Doc is the -json output document ("zstream-bench/v1"). It deliberately

@@ -84,11 +84,13 @@ func main() {
 	}
 
 	// synthetic feed: random walks around 100 for a few symbols, Google
-	// trading densely
+	// trading densely. Demo-sized: the 10s windows over a 25ms tick make
+	// match counts grow cubically with the feed length, and CI smoke-runs
+	// every example to completion.
 	rng := rand.New(rand.NewSource(42))
 	symbols := []string{"IBM", "Sun", "Oracle", "Google"}
 	price := map[string]float64{"IBM": 100, "Sun": 100, "Oracle": 100, "Google": 100}
-	const n = 20000
+	const n = 6000
 	for i := 0; i < n; i++ {
 		name := symbols[rng.Intn(len(symbols))]
 		price[name] *= 1 + (rng.Float64()-0.5)*0.08

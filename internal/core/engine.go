@@ -299,10 +299,39 @@ func (e *Engine) Process(ev *event.Event) {
 	e.ingest(ev)
 }
 
-// ingest stamps/adopts the arrival sequence number, routes the event to the
-// leaves and closes the batch when full. It reports whether any leaf
-// accepted the event (false means the event is referenced by no buffer).
-func (e *Engine) ingest(ev *event.Event) bool {
+// ProcessAdmitted feeds one primitive event whose leaf admission was
+// already decided upstream: classes is a bitmask over class indexes (bit i
+// set ⇔ the event passes class i's pushed-down filter). Admitted leaves
+// skip filter re-evaluation; the others only report a reject to their
+// sampling observer. The mask must be exact with respect to the leaf
+// filters — a multi-query router computes it from the same single-class
+// predicate set plan.Build pushes down (see internal/router).
+//
+// Two cases fall back to Process (full filter evaluation): the router's
+// MaskAll sentinel, which means "delivered without per-class proof"
+// (fallback subscriptions), and engines with a reordering stage, where
+// admission bits don't survive the reorder heap.
+func (e *Engine) ProcessAdmitted(ev *event.Event, classes uint64) {
+	if classes == ^uint64(0) || e.reorder != nil {
+		e.Process(ev)
+		return
+	}
+	e.beginIngest(ev)
+	for i, leaf := range e.plan.Leaves {
+		if classes&(1<<uint(i)) != 0 {
+			leaf.InsertAdmitted(ev)
+		} else {
+			leaf.Observe(ev, false)
+		}
+	}
+	e.endIngest()
+}
+
+// beginIngest stamps/adopts the arrival sequence number and advances the
+// event counter and clock; the caller inserts into leaves between it and
+// endIngest. Shared by the direct and the pre-admitted ingest paths so
+// their bookkeeping cannot diverge.
+func (e *Engine) beginIngest(ev *event.Event) {
 	if ev.Seq == 0 || ev.Seq <= e.lastSeq {
 		e.lastSeq++
 		ev.Seq = e.lastSeq
@@ -313,11 +342,23 @@ func (e *Engine) ingest(ev *event.Event) bool {
 	if ev.Ts > e.now {
 		e.now = ev.Ts
 	}
-	accepted := e.insert(ev)
+}
+
+// endIngest closes the batch when full.
+func (e *Engine) endIngest() {
 	e.batchFill++
 	if e.batchFill >= e.cfg.BatchSize {
 		e.endBatch(e.now)
 	}
+}
+
+// ingest stamps/adopts the arrival sequence number, routes the event to the
+// leaves and closes the batch when full. It reports whether any leaf
+// accepted the event (false means the event is referenced by no buffer).
+func (e *Engine) ingest(ev *event.Event) bool {
+	e.beginIngest(ev)
+	accepted := e.insert(ev)
+	e.endIngest()
 	return accepted
 }
 
@@ -408,6 +449,40 @@ func (e *Engine) Sync() {
 		return
 	}
 	e.endBatch(e.now)
+}
+
+// SyncAt is Sync for engines behind a router: the engine no longer sees
+// every stream event, so its clock is advanced to the stream time ts
+// first, and — even when no events were delivered since the last round —
+// an assembly round still runs whenever the match horizon lags the stream
+// (unconfirmed records, e.g. a pending trailing negation, whose
+// confirmation depends only on time passing). Without that round a starved
+// engine would hold the merge watermark back indefinitely.
+func (e *Engine) SyncAt(ts int64) {
+	if e.reorder != nil {
+		// Drive the reorder clock to the stream time first: a routed
+		// engine's reorderer only sees admitted events, so without this a
+		// starved engine would hold pending events (and the MatchHorizon
+		// reorder bound, hence the merge watermark) frozen forever. The
+		// releases are exactly those a deliver-to-all engine would have
+		// performed by now, which also keeps the bound e.now - MaxDisorder
+		// below every still-pending timestamp after e.now advances below.
+		for _, r := range e.reorder.AdvanceTime(ts) {
+			if !e.ingest(r) {
+				event.ReleaseEvent(r)
+			}
+		}
+	}
+	if ts > e.now {
+		e.now = ts
+	}
+	if e.batchFill > 0 {
+		e.endBatch(e.now)
+		return
+	}
+	if e.MatchHorizon() < ts {
+		e.endBatch(e.now)
+	}
 }
 
 // assemble runs one assembly round and drains matches from the root.

@@ -207,7 +207,7 @@ func All(scale Scale) ([]*Result, error) {
 	type fn func(Scale) (*Result, error)
 	fns := []fn{Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Table3, Fig14,
 		Fig15, Fig16, Table4Exp, Fig17, Table5, OptimizerTiming,
-		AblationHash, AblationEAT, AblationBatchSize}
+		AblationHash, AblationEAT, AblationBatchSize, Fanout}
 	var out []*Result
 	for _, f := range fns {
 		r, err := f(scale)

@@ -344,3 +344,29 @@ func TestResultTable(t *testing.T) {
 		t.Errorf("table rendering:\n%s", tbl)
 	}
 }
+
+// TestFanoutShape: the router must agree with naive fan-out on every match
+// count at every query count (the >= 5x acceptance gap is measured by
+// BenchmarkRuntimeFanout and gated via the BENCH_PR3.json baseline).
+func TestFanoutShape(t *testing.T) {
+	r, err := Fanout(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		naive, router := s.Runs[0], s.Runs[1]
+		// Matches-equal is the functional invariant here; the >= 5x
+		// throughput gap is a timing property and is gated by the
+		// benchdiff job against BENCH_PR3.json, not by a wall-clock
+		// assertion inside a -race test on a shared runner.
+		if naive.Matches != router.Matches {
+			t.Errorf("%s: router changed results: naive=%d router=%d", s.Label, naive.Matches, router.Matches)
+		}
+		if naive.Throughput <= 0 || router.Throughput <= 0 {
+			t.Errorf("%s: non-positive throughput (naive=%v router=%v)", s.Label, naive.Throughput, router.Throughput)
+		}
+	}
+}

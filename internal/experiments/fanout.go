@@ -1,0 +1,105 @@
+// The fanout experiment is not from the paper: it measures the PR 3
+// multi-query router — ingest throughput while serving hundreds of
+// parameterized standing queries — comparing naive deliver-to-all fan-out
+// against the predicate-indexed discrimination network (internal/router).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+// fanoutSymbols is the symbol universe; queries cycle through it, so every
+// event is interesting to query-count/fanoutSymbols engines.
+const fanoutSymbols = 64
+
+// FanoutQueries builds the n parameterized per-symbol dip-alert queries
+// of the fan-out workload; bench_test.go and the fanout experiment share
+// them so the local benchmark and the committed baseline cannot drift.
+func FanoutQueries(n int) []*query.Query {
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		sym := fmt.Sprintf("S%02d", i%fanoutSymbols)
+		drop := 60 + 10*((i/fanoutSymbols)%4)
+		qs[i] = query.MustParse(fmt.Sprintf(`
+			PATTERN A; B
+			WHERE A.name = '%s' AND B.name = '%s' AND B.price < A.price - %d
+			WITHIN 50 units`, sym, sym, drop))
+	}
+	return qs
+}
+
+// FanoutEvents is the uniform stream over the fan-out symbol universe.
+func FanoutEvents(n int) []*event.Event {
+	names := make([]string, fanoutSymbols)
+	weights := make([]float64, fanoutSymbols)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	return workload.GenStocks(workload.StockSpec{N: n, Seed: 37, Names: names, Weights: weights})
+}
+
+// runFanout measures one (query count, fan-out mode) cell: ingest the
+// whole stream through a sharded runtime serving qs and close it.
+func runFanout(qs []*query.Query, naive bool, events []*event.Event) (Run, error) {
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rcfg := runtime.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096, NaiveFanout: naive}
+	return measureBest(float64(len(events)), func() (func(), func() (uint64, float64), error) {
+		rt := runtime.New(rcfg)
+		for _, q := range qs {
+			if _, err := rt.Register(q, ecfg, func(*core.Match) {}); err != nil {
+				rt.Close()
+				return nil, nil, err
+			}
+		}
+		pass := func() {
+			for _, ev := range events {
+				if rt.Ingest(ev) != nil {
+					panic("fanout: ingest failed")
+				}
+			}
+			rt.Close()
+		}
+		stats := func() (uint64, float64) {
+			st := rt.Stats()
+			return st.Engine.Matches, float64(st.Engine.PeakMemBytes) / (1 << 20)
+		}
+		return pass, stats, nil
+	})
+}
+
+// Fanout sweeps the standing-query count from 256 to 1024 and reports
+// naive vs router throughput. Expected shape: naive degrades ~1/Q while
+// the router holds within a small factor (each event touches ~Q/64
+// engines plus one dispatch lookup); the gap at 256 queries is the PR 3
+// acceptance criterion (>= 5x).
+func Fanout(scale Scale) (*Result, error) {
+	res := &Result{ID: "fanout", Title: "multi-query fan-out: naive deliver-to-all vs predicate router (256-1024 queries)", ShowThroughput: true}
+	n := scale.n(20_000)
+	events := FanoutEvents(n)
+	for _, nq := range []int{256, 512, 1024} {
+		qs := FanoutQueries(nq)
+		s := Series{Label: fmt.Sprintf("%d queries", nq)}
+		for _, def := range []struct {
+			name  string
+			naive bool
+		}{{"naive", true}, {"router", false}} {
+			run, err := runFanout(qs, def.naive, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = def.name
+			s.Runs = append(s.Runs, run)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"expect: router >= 5x naive at 256 queries, gap widening ~linearly with query count")
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buffer"
+)
+
+// These tests pin the monotone lower-bound cursors that replaced the
+// per-record LowerBoundEnd binary searches in Seq.Assemble and the NSeq
+// scans: the pairs-tried / scanned counters must equal exactly what the
+// binary-search formulation produced, on randomized multi-round inputs.
+
+// seqExpectedPairs replays the binary-search semantics for one assemble
+// round: every unconsumed right record is paired with the left records
+// whose End lies in [rr.End-window, rr.Start).
+func seqExpectedPairs(lbuf, rbuf *buffer.Buf, window int64, eat int64) uint64 {
+	var pairs uint64
+	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
+		rr := rbuf.At(i)
+		if rr.Start < eat {
+			continue
+		}
+		n := lbuf.LowerBoundEnd(rr.Start)
+		j := lbuf.LowerBoundEnd(rr.End - window)
+		if n > j {
+			pairs += uint64(n - j)
+		}
+	}
+	return pairs
+}
+
+func TestSeqCursorMatchesBinarySearchPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const window = 25
+	a := NewLeaf(0, 2, nil)
+	b := NewLeaf(1, 2, nil)
+	s := NewSeq(a, b, window, nil, nil, true)
+
+	var ts int64
+	var wantPairs, wantEmitted uint64
+	for round := 0; round < 40; round++ {
+		// random interleaved burst for this round
+		for k := 0; k < 10+rng.Intn(20); k++ {
+			ts += int64(rng.Intn(3))
+			ev := mkStock(ts, "X", float64(rng.Intn(100)))
+			if rng.Intn(2) == 0 {
+				a.Insert(ev)
+			} else {
+				b.Insert(ev)
+			}
+		}
+		eat := ts - 2*window
+		a.Out().EvictBefore(eat)
+		b.Out().EvictBefore(eat)
+		// expected pairs for this round under the binary-search formula
+		// (computed before Assemble consumes the right batch); without a
+		// value predicate every tried pair inside the window is emitted
+		p := seqExpectedPairs(a.Out(), b.Out(), window, eat)
+		wantPairs += p
+		for i := b.Out().Cursor(); i < b.Out().Len(); i++ {
+			rr := b.Out().At(i)
+			if rr.Start < eat {
+				continue
+			}
+			for j := 0; j < a.Out().Len(); j++ {
+				lr := a.Out().At(j)
+				if lr.End < rr.Start && lr.End >= rr.End-window && rr.End-lr.Start <= window {
+					wantEmitted++
+				}
+			}
+		}
+		s.Assemble(eat, ts)
+		s.Out().Consume()
+		s.Out().DropConsumedPrefix()
+	}
+	pairs, emitted := s.Stats()
+	if pairs != wantPairs {
+		t.Errorf("pairs tried with cursor = %d, binary-search formula = %d", pairs, wantPairs)
+	}
+	if emitted != wantEmitted {
+		t.Errorf("emitted = %d, brute force = %d", emitted, wantEmitted)
+	}
+	if wantPairs == 0 || wantEmitted == 0 {
+		t.Fatal("workload tried no pairs; test is vacuous")
+	}
+}
+
+// nseqExpectedScans replays the binary-search semantics of latestNegBefore
+// for one round: per right record, one backward probe from LowerBoundEnd
+// (counting every record examined until the first pred-eligible one).
+func nseqExpectedScans(negBuf, rbuf *buffer.Buf, eat int64, eligible func(b, r *buffer.Record) bool) uint64 {
+	var scanned uint64
+	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
+		rr := rbuf.At(i)
+		if rr.Start < eat {
+			continue
+		}
+		hi := negBuf.LowerBoundEnd(rr.Start)
+		for j := hi - 1; j >= 0; j-- {
+			scanned++
+			if eligible(negBuf.At(j), rr) {
+				break
+			}
+		}
+	}
+	return scanned
+}
+
+func TestNSeqCursorMatchesBinarySearchScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pred := predOf(t, "PATTERN B;C WHERE B.price > 50 WITHIN 100")
+	mkNodes := func() (*Leaf, *Leaf, *NSeq) {
+		neg := NewLeaf(0, 2, nil)
+		anchor := NewLeaf(1, 2, nil)
+		ns := NewNSeqLeft([]*buffer.Buf{neg.Out()}, []int{0}, anchor, 100, pred, true)
+		return neg, anchor, ns
+	}
+	neg, anchor, ns := mkNodes()
+	eligible := func(b, r *buffer.Record) bool {
+		return b.Slots[0].E.Get("price").F > 50
+	}
+
+	var ts int64
+	var wantScans, wantEmitted uint64
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 8+rng.Intn(12); k++ {
+			ts += int64(rng.Intn(3))
+			ev := mkStock(ts, "X", float64(rng.Intn(100)))
+			if rng.Intn(3) == 0 {
+				neg.Insert(ev)
+			} else {
+				anchor.Insert(ev)
+			}
+		}
+		eat := ts - 200
+		neg.Out().EvictBefore(eat)
+		anchor.Out().EvictBefore(eat)
+		wantScans += nseqExpectedScans(neg.Out(), anchor.Out(), eat, eligible)
+		for i := anchor.Out().Cursor(); i < anchor.Out().Len(); i++ {
+			if anchor.Out().At(i).Start >= eat {
+				wantEmitted++
+			}
+		}
+		ns.Assemble(eat, ts)
+		ns.Out().Consume()
+		ns.Out().DropConsumedPrefix()
+	}
+	scanned, emitted := ns.Stats()
+	if scanned != wantScans {
+		t.Errorf("neg records scanned with cursor = %d, binary-search formula = %d", scanned, wantScans)
+	}
+	if emitted != wantEmitted {
+		t.Errorf("emitted = %d, want %d (every anchor record emits)", emitted, wantEmitted)
+	}
+	if wantScans == 0 {
+		t.Fatal("workload scanned nothing; test is vacuous")
+	}
+}

@@ -62,6 +62,25 @@ func (l *Leaf) Insert(e *event.Event) bool {
 	return true
 }
 
+// InsertAdmitted buffers the event without re-evaluating the pushed-down
+// filter: the caller (a multi-query router) has already proved admission
+// with the exact same predicate set. The observer still records a pass so
+// adaptive statistics stay consistent with Insert.
+func (l *Leaf) InsertAdmitted(e *event.Event) {
+	if l.onArrive != nil {
+		l.onArrive(e, true)
+	}
+	l.out.Append(l.out.Pool().Leaf(e, l.class, l.nclasses))
+}
+
+// Observe reports a filtered-out arrival to the observer without touching
+// the buffer (the router's reject decision, kept visible to sampling).
+func (l *Leaf) Observe(e *event.Event, passed bool) {
+	if l.onArrive != nil {
+		l.onArrive(e, passed)
+	}
+}
+
 // Out returns the leaf buffer.
 func (l *Leaf) Out() *buffer.Buf { return l.out }
 

@@ -2,6 +2,7 @@ package operator
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/buffer"
 	"repro/internal/expr"
@@ -36,6 +37,16 @@ type NSeq struct {
 	drop    bool
 
 	env expr.PairEnv // reused predicate environment (no per-probe boxing)
+
+	// negCursors are per-negation-buffer monotone lower-bound cursors,
+	// reset each assemble round: the probe timestamps (rr.Start for the
+	// left form — anchor records are primitive, so Start == End is
+	// end-sorted; lr.End for the right form) are non-decreasing across a
+	// round, so the cursors advance instead of binary-searching per record.
+	// lastProbe guards the assumption: a backward probe (a hypothetical
+	// composite anchor) falls back to binary search, never a wrong bound.
+	negCursors []int
+	lastProbe  int64
 
 	scanned uint64
 	emitted uint64
@@ -88,11 +99,35 @@ func (n *NSeq) predOK(l, r *buffer.Record) bool {
 // Assemble runs one round.
 func (n *NSeq) Assemble(eat, now int64) {
 	n.other.Assemble(eat, now)
+	if n.negCursors == nil {
+		n.negCursors = make([]int, len(n.negBufs))
+	} else {
+		clear(n.negCursors)
+	}
+	n.lastProbe = math.MinInt64
 	if n.negLeft {
 		n.assembleLeft(eat)
 	} else {
 		n.assembleRight(eat, now)
 	}
+}
+
+// negLowerBound advances the k-th negation cursor to the first record with
+// End >= t. t is non-decreasing within a round (see negCursors), so the
+// advance is amortized O(1) per probe; a backward probe would make the
+// shared cursors invalid, so it binary-searches instead of trusting them.
+func (n *NSeq) negLowerBound(k int, t int64) int {
+	nb := n.negBufs[k]
+	if t < n.lastProbe {
+		return nb.LowerBoundEnd(t)
+	}
+	n.lastProbe = t
+	c := n.negCursors[k]
+	for c < nb.Len() && nb.At(c).End < t {
+		c++
+	}
+	n.negCursors[k] = c
+	return c
 }
 
 // assembleLeft is Algorithm 2: right records are consumed; each is paired
@@ -129,8 +164,8 @@ func (n *NSeq) assembleLeft(eat int64) {
 // class buffer backward (steps 3-9 of Algorithm 2).
 func (n *NSeq) latestNegBefore(rr *buffer.Record) *buffer.Record {
 	var best *buffer.Record
-	for _, nb := range n.negBufs {
-		hi := nb.LowerBoundEnd(rr.Start) // records [0,hi) end before rr.Start
+	for k, nb := range n.negBufs {
+		hi := n.negLowerBound(k, rr.Start) // records [0,hi) end before rr.Start
 		for j := hi - 1; j >= 0; j-- {
 			b := nb.At(j)
 			n.scanned++
@@ -183,8 +218,8 @@ func (n *NSeq) assembleRight(eat, now int64) {
 // lr.End, b within the window of lr, satisfying the constraints.
 func (n *NSeq) firstNegAfter(lr *buffer.Record) *buffer.Record {
 	var best *buffer.Record
-	for _, nb := range n.negBufs {
-		lo := nb.LowerBoundEnd(lr.End + 1)
+	for k, nb := range n.negBufs {
+		lo := n.negLowerBound(k, lr.End+1)
 		for j := lo; j < nb.Len(); j++ {
 			b := nb.At(j)
 			n.scanned++

@@ -82,6 +82,19 @@ func (r *Reorderer) Flush() []*event.Event {
 	return r.releaseUpTo(1<<62 - 1)
 }
 
+// AdvanceTime informs the reorderer that stream time reached now without a
+// corresponding Push: an engine behind a multi-query router sees only its
+// admitted subsequence of the stream, but release timing (and the lateness
+// cutoff) must track the full stream or pending events stall forever. The
+// events returned are exactly those that pushing the intervening stream
+// events would have released; the slice is reused like Push's.
+func (r *Reorderer) AdvanceTime(now int64) []*event.Event {
+	if now > r.newest {
+		r.newest = now
+	}
+	return r.releaseUpTo(r.newest - r.maxDelay)
+}
+
 // releaseUpTo pops pending events with Ts <= cutoff into the reused output
 // buffer. Stale pointers beyond the new batch are cleared so a previous,
 // larger batch cannot pin events past their lifetime (only the returned

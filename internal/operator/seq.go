@@ -1,6 +1,8 @@
 package operator
 
 import (
+	"math"
+
 	"repro/internal/buffer"
 	"repro/internal/event"
 	"repro/internal/expr"
@@ -82,6 +84,12 @@ func (s *Seq) Assemble(eat, now int64) {
 
 	rbuf := s.right.Out()
 	lbuf := s.left.Out()
+	// The right batch is end-sorted, so the left-buffer window lower bound
+	// rr.End - window is non-decreasing across it: one monotonically
+	// advancing cursor (reset each round) replaces a per-right-record
+	// binary search. The left buffer is static during the loop — children
+	// assembled above, evictions happen between rounds.
+	lo, loBound := 0, int64(math.MinInt64)
 	for i := rbuf.Cursor(); i < rbuf.Len(); i++ {
 		rr := rbuf.At(i)
 		if rr.Start < eat {
@@ -101,8 +109,14 @@ func (s *Seq) Assemble(eat, now int64) {
 		// Records ending before Rr.End - window cannot fit the window
 		// (Start <= End), so the scan starts there — the in-loop
 		// equivalent of Algorithm 1's EAT-based removal (step 4).
+		if b := rr.End - s.checks.window; b > loBound {
+			loBound = b
+			for lo < lbuf.Len() && lbuf.At(lo).End < b {
+				lo++
+			}
+		}
 		n := lbuf.LowerBoundEnd(rr.Start)
-		for j := lbuf.LowerBoundEnd(rr.End - s.checks.window); j < n; j++ {
+		for j := lo; j < n; j++ {
 			s.tryCombine(lbuf.At(j), rr)
 		}
 	}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonicalization renders predicate ASTs into alias-independent
+// fingerprints so a multi-query router can recognize that thousands of
+// parameterized queries ("alert when <symbol> dips 5%") share the same
+// predicate structure and evaluate each distinct predicate once per event.
+//
+// Two single-class predicates with equal fingerprints are semantically
+// identical when evaluated against one primitive event, regardless of which
+// query (or class index) they came from: every attribute reference is
+// normalized to `$.attr`, comparisons are orientation-normalized so the
+// attribute-bearing side is on the left, and literals are serialized
+// canonically.
+
+// Fingerprint returns the canonical serialization of a value expression.
+// Attribute references are rendered alias-free (`$.attr`), so expressions
+// differing only in class alias or index fingerprint identically. ok is
+// false when the expression contains a node kind canonicalization does
+// not know — deduplicating on such a fingerprint would conflate distinct
+// predicates, so callers must treat !ok as "not shareable".
+func Fingerprint(e Expr) (fp string, ok bool) {
+	var b strings.Builder
+	ok = fingerprintExpr(&b, e)
+	return b.String(), ok
+}
+
+func fingerprintExpr(b *strings.Builder, e Expr) bool {
+	switch x := e.(type) {
+	case *AttrRef:
+		b.WriteString("$.")
+		b.WriteString(x.Attr)
+	case *NumLit:
+		// strconv with 'g'/-1 is a round-trippable canonical float form
+		// (String() trims zeros lossily: 1.50 and 1.5 must agree anyway,
+		// but 10 and 1e1 must too).
+		b.WriteString(strconv.FormatFloat(x.V, 'g', -1, 64))
+	case *StrLit:
+		b.WriteString(strconv.Quote(x.V))
+	case *Arith:
+		fmt.Fprintf(b, "(%s ", x.Op)
+		ok := fingerprintExpr(b, x.L)
+		b.WriteByte(' ')
+		ok2 := fingerprintExpr(b, x.R)
+		b.WriteByte(')')
+		return ok && ok2
+	case *Agg:
+		fmt.Fprintf(b, "%s(", x.Fn)
+		ok := fingerprintExpr(b, x.Arg)
+		b.WriteByte(')')
+		return ok
+	default:
+		return false
+	}
+	return true
+}
+
+// FingerprintCmp returns the canonical fingerprint of a comparison.
+// Orientation is normalized — `90 < $.price` and `$.price > 90` agree — by
+// swapping the operands (and mirroring the operator) whenever the right
+// side is "heavier" than the left under a fixed total order on
+// serializations. Swapping operands of <, <=, >, >= mirrors the operator
+// (a < b == b > a); = and != are symmetric. ok follows Fingerprint's
+// contract: false means the predicate must not be deduplicated.
+func FingerprintCmp(c *Cmp) (fp string, ok bool) {
+	l, lok := Fingerprint(c.L)
+	r, rok := Fingerprint(c.R)
+	op := c.Op
+	if l > r {
+		l, r = r, l
+		op = mirror(op)
+	}
+	return l + " " + op.String() + " " + r, lok && rok
+}
+
+// mirror returns the operator with swapped operands: a < b == b > a.
+func mirror(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLte:
+		return CmpGte
+	case CmpGt:
+		return CmpLt
+	case CmpGte:
+		return CmpLte
+	default: // =, != are symmetric
+		return op
+	}
+}
+
+// EqualityAtom recognizes the hash-dispatchable form `alias.attr = literal`
+// (either orientation) and returns the attribute name and the literal
+// expression (*NumLit or *StrLit). Only plain attribute references qualify;
+// arithmetic, aggregates and attr-to-attr equalities do not.
+func EqualityAtom(c *Cmp) (attr string, lit Expr, ok bool) {
+	if c.Op != CmpEq {
+		return "", nil, false
+	}
+	if a, l, ok := attrLit(c.L, c.R); ok {
+		return a, l, true
+	}
+	if a, l, ok := attrLit(c.R, c.L); ok {
+		return a, l, true
+	}
+	return "", nil, false
+}
+
+func attrLit(a, l Expr) (string, Expr, bool) {
+	ar, ok := a.(*AttrRef)
+	if !ok || ar.Attr == "" {
+		return "", nil, false
+	}
+	switch l.(type) {
+	case *NumLit, *StrLit:
+		return ar.Attr, l, true
+	}
+	return "", nil, false
+}

@@ -1,0 +1,122 @@
+package query
+
+import "testing"
+
+// whereOf parses a query and returns its WHERE predicates.
+func whereOf(t *testing.T, src string) []*Cmp {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Where
+}
+
+// fpOf fingerprints a predicate, requiring canonicalization to succeed.
+func fpOf(t *testing.T, c *Cmp) string {
+	t.Helper()
+	fp, ok := FingerprintCmp(c)
+	if !ok {
+		t.Fatalf("FingerprintCmp(%s) not canonicalizable", c)
+	}
+	return fp
+}
+
+func TestFingerprintAliasIndependent(t *testing.T) {
+	a := whereOf(t, `PATTERN A; B WHERE A.price > 90.5 WITHIN 10`)[0]
+	b := whereOf(t, `PATTERN X; Y WHERE Y.price > 90.5 WITHIN 10`)[0]
+	if fpOf(t, a) != fpOf(t, b) {
+		t.Errorf("alias-renamed predicates fingerprint differently: %q vs %q",
+			fpOf(t, a), fpOf(t, b))
+	}
+}
+
+func TestFingerprintOrientationNormalized(t *testing.T) {
+	cases := [][2]string{
+		{`PATTERN A WHERE A.price > 90 WITHIN 10`, `PATTERN A WHERE 90 < A.price WITHIN 10`},
+		{`PATTERN A WHERE A.price >= 90 WITHIN 10`, `PATTERN A WHERE 90 <= A.price WITHIN 10`},
+		{`PATTERN A WHERE A.name = 'IBM' WITHIN 10`, `PATTERN A WHERE 'IBM' = A.name WITHIN 10`},
+		{`PATTERN A WHERE A.name != 'IBM' WITHIN 10`, `PATTERN A WHERE 'IBM' != A.name WITHIN 10`},
+	}
+	for _, c := range cases {
+		l := fpOf(t, whereOf(t, c[0])[0])
+		r := fpOf(t, whereOf(t, c[1])[0])
+		if l != r {
+			t.Errorf("flipped predicate fingerprints differ: %q vs %q", l, r)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	fps := map[string]string{}
+	for _, src := range []string{
+		`PATTERN A WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A WHERE A.price > 91 WITHIN 10`,
+		`PATTERN A WHERE A.price >= 90 WITHIN 10`,
+		`PATTERN A WHERE A.price < 90 WITHIN 10`,
+		`PATTERN A WHERE A.volume > 90 WITHIN 10`,
+		`PATTERN A WHERE A.name = 'IBM' WITHIN 10`,
+		`PATTERN A WHERE A.name = 'Sun' WITHIN 10`,
+		`PATTERN A WHERE A.price > 2 * A.volume WITHIN 10`,
+	} {
+		fp := fpOf(t, whereOf(t, src)[0])
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("distinct predicates collide on %q: %s and %s", fp, prev, src)
+		}
+		fps[fp] = src
+	}
+}
+
+func TestFingerprintArithAndAgg(t *testing.T) {
+	a := whereOf(t, `PATTERN A; B+ WHERE A.price > 1.05 * avg(B.price) WITHIN 10`)[0]
+	b := whereOf(t, `PATTERN X; Y+ WHERE X.price > 1.05 * avg(Y.price) WITHIN 10`)[0]
+	if fpOf(t, a) != fpOf(t, b) {
+		t.Errorf("agg/arith fingerprints differ across aliases")
+	}
+	c := whereOf(t, `PATTERN A; B+ WHERE A.price > 1.05 * sum(B.price) WITHIN 10`)[0]
+	if fpOf(t, a) == fpOf(t, c) {
+		t.Errorf("avg and sum aggregates collide")
+	}
+}
+
+func TestEqualityAtom(t *testing.T) {
+	if attr, lit, ok := EqualityAtom(whereOf(t, `PATTERN A WHERE A.name = 'IBM' WITHIN 10`)[0]); !ok || attr != "name" {
+		t.Errorf("attr=lit: attr=%q ok=%v", attr, ok)
+	} else if s, isStr := lit.(*StrLit); !isStr || s.V != "IBM" {
+		t.Errorf("literal = %v", lit)
+	}
+	if attr, lit, ok := EqualityAtom(whereOf(t, `PATTERN A WHERE 42 = A.id WITHIN 10`)[0]); !ok || attr != "id" {
+		t.Errorf("lit=attr: attr=%q ok=%v", attr, ok)
+	} else if n, isNum := lit.(*NumLit); !isNum || n.V != 42 {
+		t.Errorf("literal = %v", lit)
+	}
+	for _, src := range []string{
+		`PATTERN A; B WHERE A.name = B.name WITHIN 10`,     // attr-to-attr
+		`PATTERN A WHERE A.price != 90 WITHIN 10`,          // not equality
+		`PATTERN A WHERE A.price > 90 WITHIN 10`,           // not equality
+		`PATTERN A WHERE A.price = 2 * A.volume WITHIN 10`, // arithmetic
+	} {
+		if _, _, ok := EqualityAtom(whereOf(t, src)[0]); ok {
+			t.Errorf("EqualityAtom accepted %s", src)
+		}
+	}
+}
+
+// bogusExpr stands in for a future Expr node kind canonicalization does
+// not know about.
+type bogusExpr struct{}
+
+func (bogusExpr) exprNode()      {}
+func (bogusExpr) String() string { return "bogus" }
+
+func TestFingerprintUnknownNodeNotCanonical(t *testing.T) {
+	if _, ok := Fingerprint(bogusExpr{}); ok {
+		t.Error("unknown node fingerprinted ok; deduplication would conflate distinct predicates")
+	}
+	if _, ok := FingerprintCmp(&Cmp{Op: CmpGt, L: bogusExpr{}, R: &NumLit{V: 1}}); ok {
+		t.Error("comparison over unknown node fingerprinted ok")
+	}
+	if _, ok := FingerprintCmp(&Cmp{Op: CmpGt, L: &Arith{Op: OpMul, L: bogusExpr{}, R: &NumLit{V: 2}}, R: &NumLit{V: 1}}); ok {
+		t.Error("nested unknown node fingerprinted ok")
+	}
+}

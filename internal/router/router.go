@@ -1,0 +1,497 @@
+// Package router is the per-shard discrimination network that decides,
+// once per event, which registered queries receive it. With thousands of
+// standing queries — most of them parameterized variants of one another
+// ("alert when <symbol> dips 5%") — delivering every event to every
+// engine makes ingest cost O(Q) per event even when almost no query cares.
+// The router cuts that to O(matching):
+//
+//   - Every query's leaf-admission predicates (the single-class, non-
+//     aggregate WHERE atoms plan.Build pushes into leaf filters) are
+//     compiled into an index, grouped lazily by event schema.
+//   - `attr = const` atoms become hash-dispatch maps (attr position →
+//     value → subscriber entries): one map lookup replaces evaluating the
+//     equality for every query that wrote it.
+//   - The remaining ("residual") atoms are deduplicated by the canonical
+//     fingerprint of their AST (query.FingerprintCmp), so each distinct
+//     predicate is evaluated at most once per event no matter how many
+//     queries share it; results are memoized per event via epoch stamps.
+//
+// Route yields one mini-batch per subscriber that admitted at least one
+// event, tagged with the per-event class bitmask the router proved, so
+// engines can skip re-evaluating leaf filters (core.Engine.ProcessAdmitted)
+// and engines whose classes all reject an event are never touched.
+//
+// Degradation: a class with no single-class predicates admits every event,
+// so its query is touched for every event (O(Q) again for such queries);
+// queries with more than 64 classes, or whose predicates fail to compile,
+// fall back to unconditional delivery with MaskAll. The router assumes the
+// sequential, single-goroutine use the runtime's shard workers provide.
+package router
+
+import (
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// MaskAll marks a delivery whose admission was NOT proved per class: the
+// receiving engine must evaluate its leaf filters as usual (fallback
+// subscriptions).
+const MaskAll = ^uint64(0)
+
+// Delivery is one admitted event for one subscriber with the set of
+// admitted classes (bit i ⇔ class index i), or MaskAll for fallbacks.
+type Delivery struct {
+	Ev   *event.Event
+	Mask uint64
+}
+
+// SubBatch is one subscriber's mini-batch for the routed event batch.
+// Events appear in input order. The slice is owned by the router and valid
+// only until the next Route call.
+type SubBatch struct {
+	ID      int64
+	Payload any
+	Events  []Delivery
+}
+
+// Stats counts router work since creation.
+type Stats struct {
+	Events        uint64 // events routed
+	Deliveries    uint64 // (subscriber, event) pairs yielded
+	ResidualEvals uint64 // deduped residual predicate evaluations
+}
+
+// eqAtom is one `attr = const` admission atom, by attribute name
+// (resolved to a value position per schema at table-compile time).
+type eqAtom struct {
+	attr string
+	val  event.Value
+}
+
+// classAdm is the compiled admission condition of one query class: all eq
+// atoms and all residual atoms must hold.
+type classAdm struct {
+	bit   uint64
+	eqs   []eqAtom
+	resid []int // indices into Router.atoms
+}
+
+// sub is one registered query.
+type sub struct {
+	id      int64
+	payload any
+	classes []classAdm
+	// alwaysMask covers classes with no single-class predicates: they
+	// admit every event unconditionally.
+	alwaysMask uint64
+	// fallback subscriptions always receive every event with MaskAll
+	// (>64 classes, or predicate compilation failed).
+	fallback bool
+
+	// per-event accumulation scratch (epoch-stamped).
+	mask  uint64
+	epoch uint64
+	batch []Delivery
+}
+
+// atom is one deduplicated residual predicate with a per-event memo.
+type atom struct {
+	fp    string
+	pred  expr.Predicate
+	env   expr.EventEnv // Class bound to the introducing query's class
+	refs  int
+	epoch uint64
+	val   bool
+}
+
+// entry is one (subscriber, class) admission check in a compiled schema
+// table: the remaining eq atoms (beyond the dispatch atom, if any) plus the
+// residual atom set.
+type entry struct {
+	s     *sub
+	bit   uint64
+	extra []resolvedEq
+	resid []int
+}
+
+type resolvedEq struct {
+	idx int // value position in the schema
+	val event.Value
+}
+
+// dispatchGroup hash-dispatches on one attribute position: the event's
+// value at idx selects the entries to check.
+type dispatchGroup struct {
+	idx   int
+	byVal map[event.Value][]entry
+}
+
+// schemaTable is the index specialized to one event schema. Tables are
+// compiled lazily on first sight of a schema and invalidated by
+// Add/Remove.
+type schemaTable struct {
+	groups []dispatchGroup
+	scan   []entry // residual-only classes: checked for every event
+}
+
+// Router indexes subscriptions and classifies event batches. Not safe for
+// concurrent use; each shard worker owns one.
+type Router struct {
+	subs []*sub
+	byID map[int64]*sub
+	// flat is the per-event O(Q) remainder: fallback subscriptions and
+	// subscriptions with an always-admitted class. Everything else is
+	// reached only through dispatch/scan entries.
+	flat    []*sub
+	atoms   []*atom
+	atomBy  map[string]int
+	freeIDs []int // recycled atom slots
+	tables  map[*event.Schema]*schemaTable
+	// lastSchema/lastTable cache the previous event's table: consecutive
+	// events almost always share a schema, turning the per-event map
+	// probe into a pointer compare.
+	lastSchema *event.Schema
+	lastTable  *schemaTable
+	epoch      uint64
+	stats      Stats
+
+	// reused scratch: subs admitted for the current event / batch, and the
+	// returned batch headers.
+	touched []*sub
+	active  []*sub
+	out     []SubBatch
+}
+
+// New returns an empty router.
+func New() *Router {
+	return &Router{
+		byID:   map[int64]*sub{},
+		atomBy: map[string]int{},
+		tables: map[*event.Schema]*schemaTable{},
+	}
+}
+
+// Add registers a query's admission predicates under id. The payload rides
+// along in SubBatch for the caller's dispatch (e.g. the engine). Existing
+// schema tables are updated incrementally; the subscription takes effect
+// for the next Route call, which — with the runtime's queue-ordered
+// registration ops — is an exact stream position.
+func (r *Router) Add(id int64, info *query.Info, payload any) {
+	s := &sub{id: id, payload: payload}
+	if info.NumClasses() > 64 {
+		s.fallback = true
+	} else if classes, always, ok := r.compileClasses(info); ok {
+		s.classes, s.alwaysMask = classes, always
+	} else {
+		s.fallback = true // predicate compilation failed
+	}
+	r.subs = append(r.subs, s)
+	r.byID[id] = s
+	if s.fallback || s.alwaysMask != 0 {
+		r.flat = append(r.flat, s)
+	}
+	if !s.fallback {
+		for sc, t := range r.tables {
+			r.addToTable(t, s, sc)
+		}
+	}
+}
+
+// Remove drops the subscription and releases its residual atoms. Compiled
+// tables are rebuilt lazily from the remaining subscriptions.
+func (r *Router) Remove(id int64) {
+	s, ok := r.byID[id]
+	if !ok {
+		return
+	}
+	delete(r.byID, id)
+	for i, x := range r.subs {
+		if x == s {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			break
+		}
+	}
+	for i, x := range r.flat {
+		if x == s {
+			r.flat = append(r.flat[:i], r.flat[i+1:]...)
+			break
+		}
+	}
+	for _, ca := range s.classes {
+		for _, ai := range ca.resid {
+			r.releaseAtom(ai)
+		}
+	}
+	// Entry slices hold *sub pointers; dropping the tables is simpler and
+	// safer than surgically removing entries, and unregistration is rare
+	// relative to per-event routing.
+	clear(r.tables)
+	r.lastSchema, r.lastTable = nil, nil
+}
+
+// compileClasses builds the admission conditions for every class, mirroring
+// exactly the predicate set plan.Build pushes into leaf filters
+// (single-class, non-aggregate).
+func (r *Router) compileClasses(info *query.Info) (classes []classAdm, always uint64, ok bool) {
+	for _, ci := range info.Classes {
+		ca := classAdm{bit: 1 << uint(ci.Idx)}
+		for _, pi := range info.Preds {
+			if !pi.Single() || pi.Classes[0] != ci.Idx || pi.HasAgg {
+				continue
+			}
+			if attr, lit, ok := query.EqualityAtom(pi.Cmp); ok && attr != expr.TsAttr {
+				ca.eqs = append(ca.eqs, eqAtom{attr: attr, val: litValue(lit)})
+				continue
+			}
+			ai, ok := r.atomFor(pi.Cmp, ci.Idx)
+			if !ok {
+				// roll back the refs this compilation took
+				for _, c := range classes {
+					for _, prev := range c.resid {
+						r.releaseAtom(prev)
+					}
+				}
+				for _, prev := range ca.resid {
+					r.releaseAtom(prev)
+				}
+				return nil, 0, false
+			}
+			ca.resid = append(ca.resid, ai)
+		}
+		if len(ca.eqs) == 0 && len(ca.resid) == 0 {
+			always |= ca.bit
+			continue
+		}
+		classes = append(classes, ca)
+	}
+	return classes, always, true
+}
+
+// releaseAtom decrements an atom's refcount, recycling its slot at zero.
+func (r *Router) releaseAtom(i int) {
+	a := r.atoms[i]
+	a.refs--
+	if a.refs == 0 {
+		delete(r.atomBy, a.fp)
+		r.atoms[i] = &atom{} // dead slot
+		r.freeIDs = append(r.freeIDs, i)
+	}
+}
+
+// atomFor interns a residual predicate by canonical fingerprint.
+func (r *Router) atomFor(c *query.Cmp, class int) (int, bool) {
+	fp, canonical := query.FingerprintCmp(c)
+	if !canonical {
+		// An AST node fingerprinting doesn't know: deduplicating on a
+		// lossy fingerprint could conflate distinct predicates, so the
+		// whole subscription falls back to unproven delivery.
+		return 0, false
+	}
+	if i, ok := r.atomBy[fp]; ok {
+		r.atoms[i].refs++
+		return i, true
+	}
+	pred, err := expr.CompilePred(c)
+	if err != nil {
+		return 0, false
+	}
+	a := &atom{fp: fp, pred: pred, env: expr.EventEnv{Class: class}, refs: 1}
+	var i int
+	if n := len(r.freeIDs); n > 0 {
+		i = r.freeIDs[n-1]
+		r.freeIDs = r.freeIDs[:n-1]
+		r.atoms[i] = a
+	} else {
+		i = len(r.atoms)
+		r.atoms = append(r.atoms, a)
+	}
+	r.atomBy[fp] = i
+	return i, true
+}
+
+func litValue(lit query.Expr) event.Value {
+	switch x := lit.(type) {
+	case *query.NumLit:
+		return event.Float(x.V)
+	case *query.StrLit:
+		return event.Str(x.V)
+	}
+	return event.Value{}
+}
+
+// maxCachedTables bounds the schema-table cache. Tables are keyed by
+// *event.Schema identity; a well-behaved source shares one Schema per
+// stream, but nothing stops a feed adapter from constructing a fresh
+// Schema per message, which would otherwise grow the map by one compiled
+// table per event. Past the bound the cache is dropped wholesale: a
+// stable working set stays fast, a pathological schema-churn feed
+// degrades to per-event compilation (≈ naive fan-out cost) with flat
+// memory instead of an OOM.
+const maxCachedTables = 64
+
+// tableFor returns (compiling if needed) the index for one schema.
+func (r *Router) tableFor(sc *event.Schema) *schemaTable {
+	if sc == r.lastSchema {
+		return r.lastTable
+	}
+	t, ok := r.tables[sc]
+	if !ok {
+		if len(r.tables) >= maxCachedTables {
+			clear(r.tables)
+		}
+		t = &schemaTable{}
+		for _, s := range r.subs {
+			if !s.fallback {
+				r.addToTable(t, s, sc)
+			}
+		}
+		r.tables[sc] = t
+	}
+	r.lastSchema, r.lastTable = sc, t
+	return t
+}
+
+// addToTable integrates one subscription into a schema table. A class with
+// an eq atom whose attribute the schema lacks can never admit an event of
+// that schema (a null value equals no literal) and contributes nothing.
+func (r *Router) addToTable(t *schemaTable, s *sub, sc *event.Schema) {
+	for i := range s.classes {
+		ca := &s.classes[i]
+		if len(ca.eqs) == 0 {
+			t.scan = append(t.scan, entry{s: s, bit: ca.bit, resid: ca.resid})
+			continue
+		}
+		e := entry{s: s, bit: ca.bit, resid: ca.resid}
+		dispatchIdx, reachable := -1, true
+		var dispatchVal event.Value
+		for _, eq := range ca.eqs {
+			idx := sc.Index(eq.attr)
+			if idx < 0 {
+				reachable = false
+				break
+			}
+			if dispatchIdx < 0 {
+				dispatchIdx, dispatchVal = idx, eq.val
+				continue
+			}
+			e.extra = append(e.extra, resolvedEq{idx: idx, val: eq.val})
+		}
+		if !reachable {
+			continue
+		}
+		g := t.group(dispatchIdx)
+		g.byVal[dispatchVal] = append(g.byVal[dispatchVal], e)
+	}
+}
+
+func (t *schemaTable) group(idx int) *dispatchGroup {
+	for i := range t.groups {
+		if t.groups[i].idx == idx {
+			return &t.groups[i]
+		}
+	}
+	t.groups = append(t.groups, dispatchGroup{idx: idx, byVal: map[event.Value][]entry{}})
+	return &t.groups[len(t.groups)-1]
+}
+
+// Route classifies a batch of events and returns one mini-batch per
+// subscriber that admits at least one of them (registration-stable order
+// of first admission). All returned slices are router-owned scratch,
+// reused by the next Route call; steady-state routing allocates nothing.
+func (r *Router) Route(events []*event.Event) []SubBatch {
+	// Scratch is always cleared before truncation, so backing-array tails
+	// never retain stale pointers: without this, a query whose batch once
+	// grew large would pin long-evicted events (and, via Payload, even
+	// unregistered engines) for as long as the router lives.
+	for _, s := range r.active {
+		clear(s.batch)
+		s.batch = s.batch[:0]
+	}
+	clear(r.active)
+	r.active = r.active[:0]
+	clear(r.out)
+	r.out = r.out[:0]
+
+	for _, ev := range events {
+		r.epoch++
+		t := r.tableFor(ev.Schema)
+		for _, s := range r.flat {
+			if s.fallback {
+				r.admit(s, MaskAll)
+			} else {
+				r.admit(s, s.alwaysMask)
+			}
+		}
+		for gi := range t.groups {
+			g := &t.groups[gi]
+			if es, ok := g.byVal[ev.Vals[g.idx]]; ok {
+				for i := range es {
+					r.tryEntry(&es[i], ev)
+				}
+			}
+		}
+		for i := range t.scan {
+			r.tryEntry(&t.scan[i], ev)
+		}
+		for _, s := range r.touched {
+			if len(s.batch) == 0 {
+				r.active = append(r.active, s)
+			}
+			s.batch = append(s.batch, Delivery{Ev: ev, Mask: s.mask})
+			r.stats.Deliveries++
+		}
+		clear(r.touched)
+		r.touched = r.touched[:0]
+		r.stats.Events++
+	}
+
+	for _, s := range r.active {
+		r.out = append(r.out, SubBatch{ID: s.id, Payload: s.payload, Events: s.batch})
+	}
+	return r.out
+}
+
+// admit accumulates class bits for the current event, tracking first touch.
+func (r *Router) admit(s *sub, bits uint64) {
+	if s.epoch != r.epoch {
+		s.epoch = r.epoch
+		s.mask = 0
+		r.touched = append(r.touched, s)
+	}
+	s.mask |= bits
+}
+
+// tryEntry checks one (subscriber, class) condition against the event.
+func (r *Router) tryEntry(e *entry, ev *event.Event) {
+	for _, x := range e.extra {
+		if !ev.Vals[x.idx].Equal(x.val) {
+			return
+		}
+	}
+	for _, ai := range e.resid {
+		if !r.evalAtom(ai, ev) {
+			return
+		}
+	}
+	r.admit(e.s, e.bit)
+}
+
+// evalAtom evaluates a residual predicate at most once per event.
+func (r *Router) evalAtom(i int, ev *event.Event) bool {
+	a := r.atoms[i]
+	if a.epoch != r.epoch {
+		a.epoch = r.epoch
+		a.env.E = ev
+		a.val = a.pred(&a.env)
+		a.env.E = nil
+		r.stats.ResidualEvals++
+	}
+	return a.val
+}
+
+// Stats returns the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Subs returns the number of live subscriptions.
+func (r *Router) Subs() int { return len(r.subs) }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/query"
+	"repro/internal/router"
 )
 
 // QueryID identifies a registered query within one Runtime.
@@ -74,6 +75,11 @@ type Config struct {
 	// worker falls behind, Ingest blocks once its queue is full
 	// (backpressure). Default 8.
 	QueueLen int
+	// NaiveFanout disables the predicate-indexed router: every event is
+	// delivered to every registered engine, the pre-PR3 behavior. Kept for
+	// differential testing (and as an escape hatch); the router is
+	// semantics-preserving, so production runs should leave this false.
+	NaiveFanout bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +106,11 @@ type Stats struct {
 	LiveQueries      int
 	EventsIngested   uint64
 	MatchesDelivered uint64
+	// EngineDeliveries counts (engine, event) deliveries across all
+	// shards. The naive path delivers every event to every live engine;
+	// the router only to engines with at least one admitting class, so
+	// EngineDeliveries / EventsIngested is the effective fan-out.
+	EngineDeliveries uint64
 	Engine           core.EngineStats
 }
 
@@ -117,8 +128,9 @@ type Runtime struct {
 	mergeCh  chan mergeMsg
 	merger   chan struct{} // closed when the merger goroutine exits
 
-	ingested  atomic.Uint64
-	delivered atomic.Uint64
+	ingested    atomic.Uint64
+	delivered   atomic.Uint64
+	engineDeliv atomic.Uint64
 
 	// mu serializes Ingest, Register, Unregister and Close with each
 	// other; the per-shard pending batches and registry below are guarded
@@ -160,7 +172,10 @@ func New(cfg Config) *Runtime {
 	}
 	rt.pendingSpare = make([][]*event.Event, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen)}
+		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen), delivered: &rt.engineDeliv}
+		if !cfg.NaiveFanout {
+			w.router = router.New()
+		}
 		rt.workers = append(rt.workers, w)
 		go w.run(rt.mergeCh)
 	}
@@ -195,7 +210,7 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 	// Flush buffered events first so the registration point is exact with
 	// respect to Ingest order; the op rides the same send phase.
 	rt.sendLocked(func(i int) shardMsg {
-		return shardMsg{ts: ts, reg: &regOp{id: id, eng: engines[i], sink: sinks[i], emit: emit}}
+		return shardMsg{ts: ts, reg: &regOp{id: id, info: q.Info, eng: engines[i], sink: sinks[i], emit: emit}}
 	})
 	rt.live[id] = &registered{id: id, engines: engines}
 	return id, nil
@@ -385,6 +400,7 @@ func (rt *Runtime) Stats() Stats {
 		LiveQueries:      nLive,
 		EventsIngested:   rt.ingested.Load(),
 		MatchesDelivered: rt.delivered.Load(),
+		EngineDeliveries: rt.engineDeliv.Load(),
 		Engine:           agg,
 	}
 	for _, e := range engines {

@@ -3,9 +3,12 @@ package runtime
 import (
 	"math"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/router"
 	"repro/internal/slicepool"
 )
 
@@ -21,9 +24,11 @@ type shardMsg struct {
 	unreg  QueryID
 }
 
-// regOp hands a pre-built per-shard engine to a worker.
+// regOp hands a pre-built per-shard engine to a worker. info carries the
+// analyzed query for the worker's router index.
 type regOp struct {
 	id   QueryID
+	info *query.Info
 	eng  *core.Engine
 	sink *matchSink
 	emit func(*core.Match)
@@ -90,23 +95,41 @@ type shardQuery struct {
 }
 
 // worker owns one stream partition: a private core.Engine per live query,
-// fed in shard-local order, synced at every batch boundary.
+// fed in shard-local order, synced at every batch boundary. With a router
+// attached (the default), each event batch is classified once and only the
+// engines with at least one admitting class are touched; router == nil is
+// the naive deliver-to-all path (Config.NaiveFanout).
 type worker struct {
-	id int
-	in chan shardMsg
+	id        int
+	in        chan shardMsg
+	router    *router.Router
+	delivered *atomic.Uint64 // runtime-wide (engine, event) delivery counter
 }
 
 func (w *worker) run(out chan<- mergeMsg) {
-	var queries []shardQuery // registration order
+	var queries []*shardQuery // registration order
 	streamTime := int64(math.MinInt64 / 2)
+	// shardTime is the largest timestamp of an event THIS shard received —
+	// the clock a naive (deliver-to-all) engine on this shard would have.
+	// Routed engines are advanced to it, not to the global streamTime, so
+	// time-driven confirmations (trailing negation/closure) fire in exactly
+	// the same batch as they would without the router, keeping delivery
+	// order byte-identical between the two paths.
+	shardTime := int64(math.MinInt64 / 2)
 	var emitSeq uint64
 
 	gather := func(flush bool) []pendingMatch {
 		batch := getMatchBatch()
 		for _, q := range queries {
-			if flush {
+			switch {
+			case flush:
 				q.eng.Flush()
-			} else {
+			case w.router != nil:
+				// Routed engines see only admitted events; SyncAt advances
+				// their clock to the shard time and still runs a round when
+				// pending confirmations lag behind it (see core.Engine).
+				q.eng.SyncAt(shardTime)
+			default:
 				q.eng.Sync()
 			}
 			taken := q.sink.take()
@@ -138,9 +161,19 @@ func (w *worker) run(out chan<- mergeMsg) {
 		if msg.ts > streamTime {
 			streamTime = msg.ts
 		}
+		if n := len(msg.events); n > 0 {
+			// ingest order: the batch's last event carries its max ts
+			if ts := msg.events[n-1].Ts; ts > shardTime {
+				shardTime = ts
+			}
+		}
 		switch {
 		case msg.reg != nil:
-			queries = append(queries, shardQuery{id: msg.reg.id, eng: msg.reg.eng, sink: msg.reg.sink, emit: msg.reg.emit})
+			q := &shardQuery{id: msg.reg.id, eng: msg.reg.eng, sink: msg.reg.sink, emit: msg.reg.emit}
+			queries = append(queries, q)
+			if w.router != nil {
+				w.router.Add(int64(q.id), msg.reg.info, q)
+			}
 		case msg.unreg != 0:
 			for i, q := range queries {
 				if q.id == msg.unreg {
@@ -148,13 +181,38 @@ func (w *worker) run(out chan<- mergeMsg) {
 					break
 				}
 			}
+			if w.router != nil {
+				w.router.Remove(int64(msg.unreg))
+			}
 		}
-		for _, ev := range msg.events {
-			for _, q := range queries {
-				// The ingest side pre-stamped a globally monotone Seq, so
-				// every engine adopts it and shares the event unmutated —
-				// no per-engine copy on the hot path.
-				q.eng.Process(ev)
+		if w.router != nil {
+			// One classification pass decides, per event, which engines
+			// receive it and with which admitted-class bits; engines whose
+			// classes all reject an event are never touched.
+			var nDeliv uint64
+			for _, sb := range w.router.Route(msg.events) {
+				q := sb.Payload.(*shardQuery)
+				for _, d := range sb.Events {
+					// MaskAll deliveries fall back to full filter
+					// evaluation inside ProcessAdmitted.
+					q.eng.ProcessAdmitted(d.Ev, d.Mask)
+				}
+				nDeliv += uint64(len(sb.Events))
+			}
+			if nDeliv > 0 {
+				w.delivered.Add(nDeliv)
+			}
+		} else {
+			for _, ev := range msg.events {
+				for _, q := range queries {
+					// The ingest side pre-stamped a globally monotone Seq, so
+					// every engine adopts it and shares the event unmutated —
+					// no per-engine copy on the hot path.
+					q.eng.Process(ev)
+				}
+			}
+			if n := uint64(len(msg.events)) * uint64(len(queries)); n > 0 {
+				w.delivered.Add(n)
 			}
 		}
 		// Batch release: the events now live in engine buffers; the slice

@@ -51,6 +51,15 @@ func WithQueueDepth(n int) RuntimeOption {
 	return func(c *runtime.Config) { c.QueueLen = n }
 }
 
+// WithNaiveFanout disables the predicate-indexed multi-query router, so
+// every ingested event is delivered to every registered query's engine.
+// The router is semantics-preserving and strictly faster on parameterized
+// standing-query workloads; this knob exists for differential testing and
+// as an escape hatch.
+func WithNaiveFanout() RuntimeOption {
+	return func(c *runtime.Config) { c.NaiveFanout = true }
+}
+
 // Runtime executes many registered queries concurrently over one
 // partitioned event stream. Events ingested into the Runtime are sharded
 // by a partition-key attribute across worker goroutines, each owning a
