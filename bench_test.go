@@ -562,6 +562,26 @@ func BenchmarkRuntimeFanout(b *testing.B) {
 	})
 }
 
+// BenchmarkRuntimeFanoutShared is the PR 5 headline: 256 standing queries
+// in shared-prefix families of 32, run with cross-query subplan sharing
+// off versus on. Unshared execution buffers and joins every family's
+// `A;B` prefix once per member engine; sharing materializes it once per
+// shard and fans the partial matches out.
+func BenchmarkRuntimeFanoutShared(b *testing.B) {
+	qs := experiments.FanoutSharedQueries(256)
+	events := experiments.FanoutSharedEvents(20000)
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rcfg := runtimepkg.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096}
+	b.Run("unshared-256", func(b *testing.B) {
+		cfg := rcfg
+		cfg.NoSharing = true
+		benchRuntimeCfg(b, qs, cfg, ecfg, events)
+	})
+	b.Run("shared-256", func(b *testing.B) {
+		benchRuntimeCfg(b, qs, rcfg, ecfg, events)
+	})
+}
+
 // BenchmarkRuntimeFanoutScaling sweeps the standing-query count with the
 // router on: events/s should degrade far slower than 1/Q because per-event
 // work is O(matching engines + dispatch), not O(Q).

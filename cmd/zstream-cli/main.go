@@ -35,8 +35,10 @@ import (
 // stringList collects repeated flag values.
 type stringList []string
 
+// String implements fmt.Stringer.
 func (s *stringList) String() string { return strings.Join(*s, "; ") }
 
+// Set implements flag.Value.
 func (s *stringList) Set(v string) error {
 	*s = append(*s, v)
 	return nil

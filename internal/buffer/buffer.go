@@ -1,13 +1,3 @@
-// Package buffer implements the node buffers of §4.2: each tree-plan node
-// stores its (intermediate) results in a buffer of records sorted by end
-// time. A record is a vector of event slots (one per event class of the
-// plan), a start time and an end time.
-//
-// Buffers support the three operations the operator algorithms need:
-// EAT-based prefix eviction, consumption cursors (the incremental
-// equivalent of "clear the right child buffer", Algorithm 1 line 7), and
-// optional hash indexes over an equality attribute for the §5.2.2 hashing
-// optimization.
 package buffer
 
 import (
@@ -63,17 +53,22 @@ func (s Slot) Count() int {
 // is the largest primitive-event sequence number among the constituents;
 // for sequential patterns it identifies the triggering final-class event
 // and provides the exact watermark used for duplicate-free plan switching.
+// MinSeq is the smallest constituent sequence number: a consumer that
+// started observing the stream at sequence s (a query registered
+// mid-stream reading a shared subplan) must skip records with MinSeq <= s,
+// because they embed events the consumer never saw.
 type Record struct {
 	Slots  []Slot
 	Start  int64
 	End    int64
 	MaxSeq uint64
+	MinSeq uint64
 }
 
 // Leaf builds a single-event record for a plan with nclasses classes,
 // placing the event in slot class.
 func Leaf(e *event.Event, class, nclasses int) *Record {
-	r := &Record{Slots: make([]Slot, nclasses), Start: e.Ts, End: e.Ts, MaxSeq: e.Seq}
+	r := &Record{Slots: make([]Slot, nclasses), Start: e.Ts, End: e.Ts, MaxSeq: e.Seq, MinSeq: e.Seq}
 	r.Slots[class] = Slot{E: e}
 	return r
 }
@@ -101,6 +96,10 @@ func Combine(l, r *Record) *Record {
 	if r.MaxSeq > out.MaxSeq {
 		out.MaxSeq = r.MaxSeq
 	}
+	out.MinSeq = l.MinSeq
+	if r.MinSeq < out.MinSeq {
+		out.MinSeq = r.MinSeq
+	}
 	return out
 }
 
@@ -118,6 +117,7 @@ func (r *Record) Events() []*event.Event {
 	return out
 }
 
+// String implements fmt.Stringer.
 func (r *Record) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%d..%d|", r.Start, r.End)
@@ -275,7 +275,17 @@ func (b *Buf) Protect() { b.protected = true }
 // 1-4 (which may skip a stale record in the middle); stale survivors are
 // additionally filtered during scans. Returns the number evicted.
 func (b *Buf) EvictBefore(eat int64) int {
-	limit := b.Len()
+	return b.EvictBeforeLimit(eat, b.Len())
+}
+
+// EvictBeforeLimit is EvictBefore with an additional cap on how many
+// leading records may go: at most limit records are evicted even when more
+// start before eat. Multi-reader wrappers (SharedOut) use the cap to keep
+// records alive until every reader has drained them.
+func (b *Buf) EvictBeforeLimit(eat int64, limit int) int {
+	if l := b.Len(); limit > l {
+		limit = l
+	}
 	if b.protected && b.cursor < limit {
 		limit = b.cursor
 	}

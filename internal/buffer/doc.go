@@ -1,0 +1,18 @@
+// Package buffer implements the node buffers of §4.2: each tree-plan node
+// stores its (intermediate) results in a buffer of records sorted by end
+// time. A record is a vector of event slots (one per event class of the
+// plan), a start time and an end time.
+//
+// Buffers support the three operations the operator algorithms need:
+// EAT-based prefix eviction, consumption cursors (the incremental
+// equivalent of "clear the right child buffer", Algorithm 1 line 7), and
+// optional hash indexes over an equality attribute for the §5.2.2 hashing
+// optimization.
+//
+// Records are pooled (Pool) under a single-owner discipline: every record
+// lives in exactly one buffer and recycles when evicted. SharedOut extends
+// that discipline to one-producer/many-reader buffers for cross-query
+// subplan sharing: refcounted ShareReaders drain a shared buffer without
+// keeping references into it, and eviction is clamped to the slowest
+// reader.
+package buffer

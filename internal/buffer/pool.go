@@ -48,7 +48,7 @@ func (p *Pool) get() *Record {
 		r := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
-		r.Start, r.End, r.MaxSeq = 0, 0, 0
+		r.Start, r.End, r.MaxSeq, r.MinSeq = 0, 0, 0, 0
 		return r
 	}
 	return &Record{Slots: make([]Slot, p.nclasses)}
@@ -84,7 +84,7 @@ func (p *Pool) Leaf(e *event.Event, class, nclasses int) *Record {
 		return Leaf(e, class, nclasses)
 	}
 	r := p.get()
-	r.Start, r.End, r.MaxSeq = e.Ts, e.Ts, e.Seq
+	r.Start, r.End, r.MaxSeq, r.MinSeq = e.Ts, e.Ts, e.Seq, e.Seq
 	r.Slots[class] = Slot{E: e}
 	return r
 }
@@ -105,6 +105,7 @@ func (p *Pool) Combine(l, r *Record) *Record {
 	out.Start = min(l.Start, r.Start)
 	out.End = max(l.End, r.End)
 	out.MaxSeq = max(l.MaxSeq, r.MaxSeq)
+	out.MinSeq = min(l.MinSeq, r.MinSeq)
 	return out
 }
 
@@ -118,6 +119,25 @@ func (p *Pool) Clone(r *Record) *Record {
 		out = p.get()
 	}
 	copy(out.Slots, r.Slots)
-	out.Start, out.End, out.MaxSeq = r.Start, r.End, r.MaxSeq
+	out.Start, out.End, out.MaxSeq, out.MinSeq = r.Start, r.End, r.MaxSeq, r.MinSeq
+	return out
+}
+
+// Import clones a record produced by a plan with fewer classes into this
+// pool's wider slot arity: slot i of the source lands in slot i of the
+// copy, the remaining slots stay empty, and the interval and sequence
+// metadata carry over. A query consuming a shared subplan's partial
+// matches uses Import to adopt each record under its own plan's (wider)
+// slot layout and its own pool's single-owner discipline — the source
+// record remains owned by the producer.
+func (p *Pool) Import(r *Record, nclasses int) *Record {
+	var out *Record
+	if p == nil {
+		out = &Record{Slots: make([]Slot, nclasses)}
+	} else {
+		out = p.get()
+	}
+	copy(out.Slots, r.Slots)
+	out.Start, out.End, out.MaxSeq, out.MinSeq = r.Start, r.End, r.MaxSeq, r.MinSeq
 	return out
 }

@@ -1,0 +1,14 @@
+// Package core is the ZStream execution engine: the batch-iterator model of
+// §4.3 (idle rounds accumulate primitive events; assembly rounds fire when
+// the final event class has new instances, push the EAT down to every
+// buffer, and assemble leaves-to-root) plus the on-the-fly plan adaptation
+// of §5.3.
+//
+// Beyond the single-query Engine, the package provides the pieces of
+// cross-query shared-subplan execution: Subplan materializes one canonical
+// query prefix per shard on behalf of many engines, and
+// NewEngineSharedPrefix compiles an engine that consumes a producer's
+// partial-match stream through a shared-source node instead of buffering
+// and joining the prefix privately (see internal/runtime for orchestration
+// and docs/ARCHITECTURE.md for the data flow).
+package core

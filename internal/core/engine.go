@@ -1,8 +1,3 @@
-// Package core is the ZStream execution engine: the batch-iterator model of
-// §4.3 (idle rounds accumulate primitive events; assembly rounds fire when
-// the final event class has new instances, push the EAT down to every
-// buffer, and assemble leaves-to-root) plus the on-the-fly plan adaptation
-// of §5.3.
 package core
 
 import (
@@ -150,6 +145,10 @@ type Engine struct {
 	rounds   atomic.Uint64
 	switches atomic.Uint64
 	peakMem  atomic.Int64
+
+	// src, when non-nil, is the shared-source node standing in for a
+	// prefix subtree materialized by a shared Subplan (NewEngineSharedPrefix).
+	src *operator.Source
 
 	recTap func(*buffer.Record)
 }
@@ -382,10 +381,29 @@ func (e *Engine) endBatch(now int64) {
 	e.batchCount++
 	if eat, ok := e.triggerEAT(); ok {
 		e.assemble(eat, now)
+	} else {
+		e.maintainSource()
 	}
 	if e.cfg.Adaptive && e.batchCount%e.cfg.AdaptEvery == 0 {
 		e.maybeAdapt()
 	}
+}
+
+// maintainSource keeps a shared-prefix source flowing between assembly
+// rounds: with no unconsumed final-class events there is nothing to
+// assemble, but the source must still drain the shared producer — a
+// stalled reader would clamp the producer's eviction and pin its buffer
+// (and every pulled record it feeds) indefinitely. Draining outside a
+// round is invisible (the records would be pulled by the next round
+// anyway), and records starting before now - window are evicted: with no
+// unconsumed final instance, any future match ends at or after now, so
+// they could never satisfy the window again.
+func (e *Engine) maintainSource() {
+	if e.src == nil {
+		return
+	}
+	e.src.Assemble(0, e.now)
+	e.src.Out().EvictBefore(e.now - e.q.Within)
 }
 
 // triggerEAT reports whether an assembly round should run and computes the
@@ -482,7 +500,11 @@ func (e *Engine) SyncAt(ts int64) {
 	}
 	if e.MatchHorizon() < ts {
 		e.endBatch(e.now)
+		return
 	}
+	// Starved routed engine, nothing to confirm: still drain the shared
+	// source so the producer's eviction never stalls on this reader.
+	e.maintainSource()
 }
 
 // assemble runs one assembly round and drains matches from the root.
@@ -640,7 +662,7 @@ func (e *Engine) liveMemory() int64 {
 	return recs*48 + slots*32
 }
 
-// Stats reports engine counters.
+// EngineStats reports engine counters.
 type EngineStats struct {
 	Matches      uint64
 	Rounds       uint64

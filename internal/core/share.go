@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// SharedPrefixLen reports the length (in classes) of q's shareable prefix
+// under cfg, or 0 when the engine must not consume a shared subplan.
+// Beyond the query-shape conditions of query.SharablePrefix, the engine
+// configuration gates sharing:
+//
+//   - Adaptive engines re-plan per engine as their sampled statistics
+//     drift; a shared materialization would pin one subtree shape under
+//     all of them, so adaptive engines keep private plans (the README
+//     documents this limit).
+//   - MaxDisorder engines re-sequence events in a private reorder stage;
+//     admission order inside the prefix would no longer match the shared
+//     producer's.
+//   - StrategyFixed pins an explicit user shape that prefix substitution
+//     would override.
+//   - DisableEAT is an ablation mode with deliberately different pruning.
+//
+// The resolved negation placement's unit decomposition must also leave the
+// prefix as a clean run of single-class units (a trailing negation or
+// Kleene anchor may fuse a neighboring class into a multi-class unit), and
+// every prefix predicate must canonicalize (query.PrefixFingerprint), or
+// producers with lossy identities could be conflated.
+func SharedPrefixLen(q *query.Query, cfg Config) int {
+	if q.Info == nil {
+		return 0
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Adaptive || cfg.MaxDisorder > 0 || cfg.DisableEAT || cfg.Strategy == StrategyFixed {
+		return 0
+	}
+	// Queries past the router's 64-class admission-mask width must keep
+	// the full-Info fallback subscription; a suffix-only consumer
+	// subscription would silently zero the high class bits.
+	if q.Info.NumClasses() > 64 {
+		return 0
+	}
+	k := query.SharablePrefix(q.Info)
+	if k == 0 {
+		return 0
+	}
+	probe := &Engine{q: q, cfg: cfg}
+	_, negMode, err := probe.chooseShape(cfg.Stats)
+	if err != nil {
+		return 0
+	}
+	units, _, err := plan.Units(q.Info, negMode)
+	if err != nil || k >= len(units) {
+		return 0
+	}
+	for i := 0; i < k; i++ {
+		if units[i].Kind != plan.UnitSimple || units[i].Classes[0] != i {
+			return 0
+		}
+	}
+	if _, ok := query.PrefixFingerprint(q, k); !ok {
+		return 0
+	}
+	return k
+}
+
+// NewEngineSharedPrefix compiles q into an engine whose first prefixLen
+// classes are consumed from a shared subplan instead of being buffered and
+// joined locally: the plan substitutes a shared-source node for the prefix
+// subtree (plan.BuildSharedPrefix) and shadow leaves for the prefix
+// classes. The engine is inert below the source until the caller wires it
+// to a producer with ConnectSharedPrefix; everything else — ingest
+// bookkeeping, assembly triggering on final classes, match emission —
+// behaves exactly like NewEngine. prefixLen must equal SharedPrefixLen(q,
+// cfg).
+func NewEngineSharedPrefix(q *query.Query, cfg Config, prefixLen int, emit func(*Match)) (*Engine, error) {
+	if q.Info == nil {
+		return nil, fmt.Errorf("core: query not analyzed")
+	}
+	cfg = cfg.withDefaults()
+	if want := SharedPrefixLen(q, cfg); want != prefixLen {
+		return nil, fmt.Errorf("core: shared prefix length %d requested, %d eligible", prefixLen, want)
+	}
+	e := &Engine{q: q, cfg: cfg, emit: emit, now: math.MinInt64 / 2}
+	_, negMode, err := e.chooseShape(cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	src := operator.NewSource()
+	p, err := plan.BuildSharedPrefix(q, plan.Options{
+		Negation: negMode, UseHash: cfg.UseHash,
+	}, prefixLen, src)
+	if err != nil {
+		return nil, err
+	}
+	e.plan = p
+	e.src = src
+	e.pool = buffer.NewPool(q.Info.NumClasses())
+	for _, b := range p.Buffers {
+		b.SetPool(e.pool)
+	}
+	if err := e.compileReturn(); err != nil {
+		return nil, err
+	}
+	e.finalSet = map[int]bool{}
+	for _, c := range q.Info.FinalClasses {
+		e.finalSet[c] = true
+	}
+	return e, nil
+}
+
+// SharedSource returns the engine's shared-source node, or nil for engines
+// built with NewEngine.
+func (e *Engine) SharedSource() *operator.Source { return e.src }
+
+// ConnectSharedPrefix wires the engine's shared-source node to a producer
+// reader: each assembly round pulls the reader's new partial matches and
+// imports them into the engine's pool under its (wider) slot layout. The
+// caller must attach the reader at the engine's exact registration
+// position (see Subplan.Attach).
+func (e *Engine) ConnectSharedPrefix(r *buffer.ShareReader) {
+	nclasses := e.q.Info.NumClasses()
+	e.src.SetFill(func(out *buffer.Buf) {
+		r.Each(func(rec *buffer.Record) {
+			out.Append(out.Pool().Import(rec, nclasses))
+		})
+	})
+}

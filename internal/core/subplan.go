@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/event"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Subplan materializes one shared query prefix on behalf of many engines:
+// it buffers the prefix classes' events and assembles their joins exactly
+// once per shard, publishing the partial-match stream through a
+// multi-reader buffer (buffer.SharedOut). Engines built with
+// NewEngineSharedPrefix consume it through their shared-source node instead
+// of redoing the buffering and assembly per query.
+//
+// A Subplan is the batch half of an engine with no match side: it has
+// leaves, an operator tree and a pool, but no RETURN clause, no emission
+// and no adaptation. Its driver (a runtime shard worker) feeds it events —
+// through the router (ProcessAdmitted) or directly (Process) — and calls
+// Assemble once per shard batch BEFORE the consuming engines process the
+// batch, so every consumer round observes a producer that is at or ahead
+// of its own stream position. Running ahead is safe: sequence joins
+// require the left (prefix) side to end strictly before the right side
+// starts, so prefix records formed from events a consumer has not yet
+// processed can never combine with anything the consumer has buffered.
+//
+// Like Engine, a Subplan is single-writer: all methods must be called from
+// one goroutine.
+type Subplan struct {
+	q      *query.Query
+	plan   *plan.Plan
+	pool   *buffer.Pool
+	shared *buffer.SharedOut
+	now    int64
+	dirty  bool // inserts since the last assembly round
+
+	events uint64
+}
+
+// NewSubplan compiles a prefix query (query.PrefixQuery) into a producer.
+// The plan is the left-deep sequence over the prefix classes with every
+// prefix predicate placed; useHash enables §5.2.2 equality probing in the
+// prefix joins (output order is identical either way).
+func NewSubplan(prefixQ *query.Query, useHash bool) (*Subplan, error) {
+	p, err := plan.Build(prefixQ, nil, plan.Options{UseHash: useHash}, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subplan{
+		q:    prefixQ,
+		plan: p,
+		pool: buffer.NewPool(prefixQ.Info.NumClasses()),
+		now:  math.MinInt64 / 2,
+	}
+	for _, b := range p.Buffers {
+		b.SetPool(s.pool)
+	}
+	s.shared = buffer.NewSharedOut(p.Root.Out())
+	return s, nil
+}
+
+// Info returns the prefix query's analysis — the admission predicate set a
+// router subscription for the producer is compiled from (it matches the
+// consuming queries' prefix-class predicates exactly).
+func (s *Subplan) Info() *query.Info { return s.q.Info }
+
+// Window returns the prefix query's WITHIN constraint.
+func (s *Subplan) Window() int64 { return s.q.Within }
+
+// Events returns the number of events fed to the producer.
+func (s *Subplan) Events() uint64 { return s.events }
+
+// Process feeds one event through the leaf filters (the deliver-to-all
+// path). Events must carry pre-stamped, monotone sequence numbers — the
+// concurrent runtime's ingest stamp — because reader visibility
+// (ShareReader minSeq) is defined in terms of them.
+func (s *Subplan) Process(ev *event.Event) {
+	s.events++
+	if ev.Ts > s.now {
+		s.now = ev.Ts
+	}
+	for _, leaf := range s.plan.Leaves {
+		if leaf.Insert(ev) {
+			s.dirty = true
+		}
+	}
+}
+
+// ProcessAdmitted feeds one event whose per-class admission the router
+// already proved (mask bit i ⇔ class i admits). The all-ones mask falls
+// back to full filter evaluation, mirroring Engine.ProcessAdmitted.
+func (s *Subplan) ProcessAdmitted(ev *event.Event, mask uint64) {
+	if mask == ^uint64(0) {
+		s.Process(ev)
+		return
+	}
+	s.events++
+	if ev.Ts > s.now {
+		s.now = ev.Ts
+	}
+	for i, leaf := range s.plan.Leaves {
+		if mask&(1<<uint(i)) != 0 {
+			leaf.InsertAdmitted(ev)
+			s.dirty = true
+		}
+	}
+}
+
+// Assemble runs one producer round ahead of the consumers' rounds for a
+// shard batch. horizon is the minimum MatchHorizon over all consuming
+// engines before the batch; batchMinTs is the smallest event timestamp in
+// the batch (use math.MaxInt64 when flushing with no pending events). The
+// effective earliest-allowed timestamp min(horizon, batchMinTs) - window
+// lower-bounds every EAT any consumer round can use while processing this
+// batch, so the producer never skips (and permanently consumes) a prefix
+// event a consumer still needs; running with a smaller EAT than a consumer
+// merely materializes stale partial matches the consumers' own window
+// checks already reject.
+func (s *Subplan) Assemble(horizon, batchMinTs int64) {
+	eat := horizon
+	if batchMinTs < eat {
+		eat = batchMinTs
+	}
+	// Guard the subtraction: horizons are +/-inf sentinels at the extremes.
+	if eat > math.MinInt64/4 {
+		eat -= s.q.Within
+	}
+	root := s.plan.Root.Out()
+	for _, b := range s.plan.Buffers {
+		if b != root {
+			b.EvictBefore(eat)
+		}
+	}
+	s.shared.EvictBefore(eat)
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.plan.Root.Assemble(eat, s.now)
+}
+
+// Flush runs a final producer round for consumer flushes: every remaining
+// prefix event is assembled under the consumers' minimum horizon and the
+// producer's own clock — a lower bound on any consumer's flush EAT, since
+// consumer clocks are at or ahead of the producer's.
+func (s *Subplan) Flush(horizon int64) { s.Assemble(horizon, s.now) }
+
+// Attach adds a consumer starting at the producer's current output
+// position; partial matches embedding any event with sequence number <=
+// minSeq stay invisible to it (registration-exact semantics — see
+// buffer.SharedOut).
+func (s *Subplan) Attach(minSeq uint64) *buffer.ShareReader {
+	return s.shared.Attach(minSeq)
+}
+
+// Detach removes a consumer; Readers reports how many remain.
+func (s *Subplan) Detach(r *buffer.ShareReader) { s.shared.Detach(r) }
+
+// Readers returns the number of attached consumers.
+func (s *Subplan) Readers() int { return s.shared.Readers() }

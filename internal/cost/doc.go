@@ -1,0 +1,10 @@
+// Package cost implements the ZStream cost model of §5.1: Formula (1)
+// C = Ci + (n·k)·Ci + p·Co per operator, with the per-operator input and
+// output cost formulas of Table 2 and the terminology of Table 1
+// (CARD_E = R_E · TW_p · P_E, implicit time-predicate selectivity Pt, and
+// multi-class predicate selectivity P_{E1,E2}).
+//
+// The estimator works over planning units and shapes from internal/plan,
+// generalizing operand cardinalities to sub-plans by substituting operator
+// output cardinality, exactly as §5.1 prescribes.
+package cost

@@ -1,0 +1,8 @@
+// Package event defines the primitive and composite event data model used
+// throughout ZStream: typed attribute values, stream schemas, and events
+// carrying interval timestamps (§3 of the paper).
+//
+// Primitive events have start-ts == end-ts (a single timestamp); composite
+// events assembled by operators span the interval between the earliest and
+// latest constituent primitive event.
+package event

@@ -1,10 +1,3 @@
-// Package event defines the primitive and composite event data model used
-// throughout ZStream: typed attribute values, stream schemas, and events
-// carrying interval timestamps (§3 of the paper).
-//
-// Primitive events have start-ts == end-ts (a single timestamp); composite
-// events assembled by operators span the interval between the earliest and
-// latest constituent primitive event.
 package event
 
 import (
@@ -27,6 +20,7 @@ const (
 	KindString
 )
 
+// String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {
 	case KindNull:
@@ -97,6 +91,7 @@ func (v Value) Compare(o Value) (cmp int, ok bool) {
 	return 0, false
 }
 
+// String implements fmt.Stringer.
 func (v Value) String() string {
 	switch v.Kind {
 	case KindFloat:
@@ -206,6 +201,7 @@ func (e *Event) Get(attr string) Value {
 // slice's own).
 func (e *Event) At(i int) Value { return e.Vals[i] }
 
+// String implements fmt.Stringer.
 func (e *Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s@%d{", e.Schema.Name(), e.Ts)

@@ -1,11 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§6). Each experiment returns a Result whose text rendering
-// mirrors the corresponding figure's series; EXPERIMENTS.md records the
-// paper-vs-measured comparison.
-//
-// Absolute numbers differ from the paper (different decade, language and
-// machine); what the experiments reproduce is the *shape*: which plan wins,
-// by roughly what factor, and where the crossovers fall.
 package experiments
 
 import (
@@ -207,7 +199,7 @@ func All(scale Scale) ([]*Result, error) {
 	type fn func(Scale) (*Result, error)
 	fns := []fn{Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Table3, Fig14,
 		Fig15, Fig16, Table4Exp, Fig17, Table5, OptimizerTiming,
-		AblationHash, AblationEAT, AblationBatchSize, Fanout}
+		AblationHash, AblationEAT, AblationBatchSize, Fanout, FanoutShared}
 	var out []*Result
 	for _, f := range fns {
 		r, err := f(scale)

@@ -45,11 +45,58 @@ func FanoutEvents(n int) []*event.Event {
 	return workload.GenStocks(workload.StockSpec{N: n, Seed: 37, Names: names, Weights: weights})
 }
 
+// FanoutSharedQueries builds the n parameterized-prefix alert queries of
+// the subplan-sharing workload: per symbol, every query monitors the same
+// canonical `A;B` dip prefix and differs only in its alert threshold on a
+// third class, so n/fanoutSharedSymbols queries share each prefix
+// materialization. bench_test.go and the fanout-shared experiment share
+// them so the local benchmark and the committed baseline cannot drift.
+func FanoutSharedQueries(n int) []*query.Query {
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		sym := fmt.Sprintf("S%02d", i%fanoutSharedSymbols)
+		th := 96 + float64(i/fanoutSharedSymbols)*0.03125
+		qs[i] = query.MustParse(fmt.Sprintf(`
+			PATTERN A; B; C
+			WHERE A.name = '%s' AND A.price > 45
+			  AND B.name = '%s' AND B.price < A.price - 85
+			  AND C.name = '%s' AND C.price > %g
+			WITHIN 100 units`, sym, sym, sym, th))
+	}
+	return qs
+}
+
+// fanoutSharedSymbols is deliberately smaller than fanoutSymbols: fewer
+// symbols mean more events per prefix family, so the per-member prefix
+// work unshared execution repeats — buffering every B candidate and
+// evaluating the selective `B.price < A.price - 85` join against the whole
+// A window — dominates, while the rare pairs and rarer C alerts keep the
+// match side (identical in both modes) small.
+const fanoutSharedSymbols = 8
+
+// FanoutSharedEvents is the uniform stream over the shared-prefix symbol
+// universe.
+func FanoutSharedEvents(n int) []*event.Event {
+	names := make([]string, fanoutSharedSymbols)
+	weights := make([]float64, fanoutSharedSymbols)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	return workload.GenStocks(workload.StockSpec{N: n, Seed: 41, Names: names, Weights: weights})
+}
+
 // runFanout measures one (query count, fan-out mode) cell: ingest the
 // whole stream through a sharded runtime serving qs and close it.
 func runFanout(qs []*query.Query, naive bool, events []*event.Event) (Run, error) {
-	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
 	rcfg := runtime.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096, NaiveFanout: naive}
+	return runFanoutCfg(qs, rcfg, events)
+}
+
+// runFanoutCfg is runFanout with an explicit runtime configuration
+// (fan-out mode, sharing mode).
+func runFanoutCfg(qs []*query.Query, rcfg runtime.Config, events []*event.Event) (Run, error) {
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
 	return measureBest(float64(len(events)), func() (func(), func() (uint64, float64), error) {
 		rt := runtime.New(rcfg)
 		for _, q := range qs {
@@ -101,5 +148,37 @@ func Fanout(scale Scale) (*Result, error) {
 	}
 	res.Notes = append(res.Notes,
 		"expect: router >= 5x naive at 256 queries, gap widening ~linearly with query count")
+	return res, nil
+}
+
+// FanoutShared measures cross-query shared-subplan execution (PR 5): n
+// parameterized queries per run share canonical `A;B` prefixes in families
+// of n/8, so unshared execution buffers and assembles every family's
+// prefix joins n/8 times per shard while sharing materializes them once.
+// Both modes run with the predicate router on; the only difference is
+// runtime.Config.NoSharing.
+func FanoutShared(scale Scale) (*Result, error) {
+	res := &Result{ID: "fanout-shared", Title: "shared-subplan execution: unshared vs shared prefix materialization (256-1024 queries)", ShowThroughput: true}
+	n := scale.n(20_000)
+	events := FanoutSharedEvents(n)
+	for _, nq := range []int{256, 512, 1024} {
+		qs := FanoutSharedQueries(nq)
+		s := Series{Label: fmt.Sprintf("%d queries", nq)}
+		for _, def := range []struct {
+			name    string
+			noShare bool
+		}{{"unshared", true}, {"shared", false}} {
+			rcfg := runtime.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096, NoSharing: def.noShare}
+			run, err := runFanoutCfg(qs, rcfg, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = def.name
+			s.Runs = append(s.Runs, run)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"expect: shared >= 2x unshared at 256 queries, gap widening with family size; identical match counts")
 	return res, nil
 }

@@ -1,0 +1,6 @@
+// Package expr compiles the value expressions and predicates of a parsed
+// query (internal/query AST) into closures evaluated against event-class
+// environments. Compiled predicates are what tree-plan nodes (and the NFA
+// baseline) execute per candidate combination, so compilation happens once
+// per query, not per event.
+package expr

@@ -1,0 +1,14 @@
+// Package nfa is the NFA-based baseline ZStream is compared against (§6):
+// a SASE-style evaluator [15] with one state per event class in pattern
+// order, active instance stacks (AIS), and a recent-instance pointer (RIP)
+// per instance. A match is assembled by backward search from each final-
+// state instance through the RIP-bounded prefixes of the earlier stacks.
+//
+// Following the paper's baseline faithfully:
+//   - the evaluation order is fixed (backward from the final state), which
+//     is why its performance tracks the right-deep tree plan;
+//   - intermediate results are not materialized: every final-state instance
+//     re-runs the backward search;
+//   - negation is applied as a post-filter on complete matches;
+//   - conjunction, disjunction and Kleene closure are not supported.
+package nfa

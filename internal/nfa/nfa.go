@@ -1,16 +1,3 @@
-// Package nfa is the NFA-based baseline ZStream is compared against (§6):
-// a SASE-style evaluator [15] with one state per event class in pattern
-// order, active instance stacks (AIS), and a recent-instance pointer (RIP)
-// per instance. A match is assembled by backward search from each final-
-// state instance through the RIP-bounded prefixes of the earlier stacks.
-//
-// Following the paper's baseline faithfully:
-//   - the evaluation order is fixed (backward from the final state), which
-//     is why its performance tracks the right-deep tree plan;
-//   - intermediate results are not materialized: every final-state instance
-//     re-runs the backward search;
-//   - negation is applied as a post-filter on complete matches;
-//   - conjunction, disjunction and Kleene closure are not supported.
 package nfa
 
 import (
@@ -463,6 +450,7 @@ type nfaEnv struct {
 	bound []*event.Event
 }
 
+// Event implements expr.Env.
 func (e nfaEnv) Event(class int) *event.Event {
 	for i, c := range e.m.pos {
 		if c == class {
@@ -472,6 +460,7 @@ func (e nfaEnv) Event(class int) *event.Event {
 	return nil
 }
 
+// Group implements expr.Env.
 func (e nfaEnv) Group(class int) []*event.Event {
 	if ev := e.Event(class); ev != nil {
 		return []*event.Event{ev}
@@ -487,6 +476,7 @@ type negEnv struct {
 	b        *event.Event
 }
 
+// Event implements expr.Env.
 func (e negEnv) Event(class int) *event.Event {
 	if class == e.negClass {
 		return e.b
@@ -494,6 +484,7 @@ func (e negEnv) Event(class int) *event.Event {
 	return nfaEnv{m: e.m, bound: e.bound}.Event(class)
 }
 
+// Group implements expr.Env.
 func (e negEnv) Group(class int) []*event.Event {
 	if ev := e.Event(class); ev != nil {
 		return []*event.Event{ev}

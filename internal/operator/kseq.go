@@ -103,6 +103,7 @@ type triEnv struct {
 	cls  int
 }
 
+// Event implements expr.Env.
 func (t triEnv) Event(class int) *event.Event {
 	if class == t.cls {
 		return t.m
@@ -120,6 +121,7 @@ func (t triEnv) Event(class int) *event.Event {
 	return nil
 }
 
+// Group implements expr.Env.
 func (t triEnv) Group(class int) []*event.Event {
 	if ev := t.Event(class); ev != nil {
 		return []*event.Event{ev}
@@ -253,7 +255,7 @@ func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
 	pool := k.out.Pool()
 	rec := pool.Get(k.nclasses)
 	var start, end int64
-	var maxSeq uint64
+	var maxSeq, minSeq uint64
 	first := true
 	apply := func(r *buffer.Record) {
 		for c, s := range r.Slots {
@@ -267,10 +269,13 @@ func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
 		if first || r.End > end {
 			end = r.End
 		}
-		first = false
 		if r.MaxSeq > maxSeq {
 			maxSeq = r.MaxSeq
 		}
+		if first || r.MinSeq < minSeq {
+			minSeq = r.MinSeq
+		}
+		first = false
 	}
 	if sr != nil {
 		apply(sr)
@@ -288,18 +293,22 @@ func (k *KSeq) emitOne(sr, er *buffer.Record, group []*event.Event) {
 		if first || g[len(g)-1].Ts > end {
 			end = g[len(g)-1].Ts
 		}
-		first = false
 		for _, ev := range g {
 			if ev.Seq > maxSeq {
 				maxSeq = ev.Seq
 			}
+			if first || ev.Seq < minSeq {
+				minSeq = ev.Seq
+				first = false
+			}
 		}
+		first = false
 	}
 	if first {
 		pool.Recycle(rec)
 		return // star closure with no start, no end and empty group
 	}
-	rec.Start, rec.End, rec.MaxSeq = start, end, maxSeq
+	rec.Start, rec.End, rec.MaxSeq, rec.MinSeq = start, end, maxSeq, minSeq
 	if rec.End-rec.Start > k.window {
 		pool.Recycle(rec)
 		return

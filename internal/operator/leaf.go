@@ -21,6 +21,13 @@ type Leaf struct {
 	filter   expr.Predicate // nil accepts everything
 	out      *buffer.Buf
 
+	// shadow leaves stand in for classes whose buffering is delegated to a
+	// shared subplan: they evaluate the filter and report to the observer
+	// (so admission accounting matches an owning leaf exactly) but never
+	// buffer — the shared producer holds the one copy of the class's
+	// events.
+	shadow bool
+
 	// env is the reused filter environment: passing &env keeps the
 	// interface conversion allocation-free on the per-event hot path.
 	env expr.EventEnv
@@ -35,6 +42,17 @@ func NewLeaf(class, nclasses int, filter expr.Predicate) *Leaf {
 	return &Leaf{class: class, nclasses: nclasses, filter: filter, out: buffer.New(),
 		env: expr.EventEnv{Class: class}}
 }
+
+// NewShadowLeaf creates a non-buffering leaf for a class owned by a shared
+// subplan (see the shadow field). Its buffer stays empty forever.
+func NewShadowLeaf(class, nclasses int, filter expr.Predicate) *Leaf {
+	l := NewLeaf(class, nclasses, filter)
+	l.shadow = true
+	return l
+}
+
+// Shadow reports whether the leaf delegates buffering to a shared subplan.
+func (l *Leaf) Shadow() bool { return l.shadow }
 
 // Class returns the event class index the leaf stores.
 func (l *Leaf) Class() int { return l.class }
@@ -58,6 +76,9 @@ func (l *Leaf) Insert(e *event.Event) bool {
 	if !passed {
 		return false
 	}
+	if l.shadow {
+		return true
+	}
 	l.out.Append(l.out.Pool().Leaf(e, l.class, l.nclasses))
 	return true
 }
@@ -69,6 +90,9 @@ func (l *Leaf) Insert(e *event.Event) bool {
 func (l *Leaf) InsertAdmitted(e *event.Event) {
 	if l.onArrive != nil {
 		l.onArrive(e, true)
+	}
+	if l.shadow {
+		return
 	}
 	l.out.Append(l.out.Pool().Leaf(e, l.class, l.nclasses))
 }

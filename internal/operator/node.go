@@ -1,16 +1,3 @@
-// Package operator implements the tree-plan node algorithms of §4.4:
-// sequence (Algorithm 1), negation push-down NSEQ (Algorithm 2),
-// conjunction (Algorithm 3), Kleene closure KSEQ (Algorithm 4), disjunction
-// merge, and the negation-on-top filter, plus the reorder operator §4.1
-// mentions for out-of-order inputs.
-//
-// Every node owns an end-time-ordered output buffer (§4.2) and produces its
-// results in end-time order. Nodes are driven by assembly rounds (§4.3):
-// Assemble(eat, now) recursively assembles children, then combines their
-// new records into the node's buffer. Consumed child records are tracked
-// with buffer cursors; in static mode consumed right-side prefixes are
-// dropped immediately (Algorithm 1 line 7), while adaptive mode retains
-// leaf buffers so a new plan can rebuild intermediate state (§5.3).
 package operator
 
 import (

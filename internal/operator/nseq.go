@@ -147,9 +147,10 @@ func (n *NSeq) assembleLeft(eat int64) {
 		if b != nil {
 			out = pool.Combine(rr, b)
 			// The negating event is not part of the match output: keep
-			// the record's interval (and MaxSeq) that of the non-negated
-			// side so window checks and watermarks exclude it.
-			out.Start, out.End, out.MaxSeq = rr.Start, rr.End, rr.MaxSeq
+			// the record's interval (and sequence metadata) that of the
+			// non-negated side so window checks, watermarks and shared-
+			// reader visibility exclude it.
+			out.Start, out.End, out.MaxSeq, out.MinSeq = rr.Start, rr.End, rr.MaxSeq, rr.MinSeq
 		} else {
 			out = pool.Clone(rr)
 		}
@@ -200,7 +201,7 @@ func (n *NSeq) assembleRight(eat, now int64) {
 		var out *buffer.Record
 		if b != nil {
 			out = pool.Combine(lr, b)
-			out.Start, out.End, out.MaxSeq = lr.Start, lr.End, lr.MaxSeq
+			out.Start, out.End, out.MaxSeq, out.MinSeq = lr.Start, lr.End, lr.MaxSeq, lr.MinSeq
 		} else {
 			out = pool.Clone(lr)
 		}

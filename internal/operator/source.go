@@ -1,0 +1,50 @@
+package operator
+
+import (
+	"repro/internal/buffer"
+)
+
+// Source is a leaf-position node whose records come from outside the plan:
+// a shared-subplan consumer's stand-in for the subtree a producer
+// materializes once on behalf of many queries. Each assembly round the
+// source pulls the producer's new partial matches through its fill hook,
+// which imports them into the owning plan's pool (Pool.Import) and appends
+// them to the source's buffer in end-time order. Above the source, the
+// plan joins, filters and consumes exactly as if the subtree were local.
+//
+// A Source with no fill hook yields nothing — an engine built with a
+// shared prefix is inert until its runtime wires the hook at the query's
+// exact registration position in the stream.
+type Source struct {
+	out  *buffer.Buf
+	fill func(out *buffer.Buf)
+}
+
+// NewSource creates an unwired source node.
+func NewSource() *Source { return &Source{out: buffer.New()} }
+
+// SetFill installs the pull hook; fill must append records in
+// non-decreasing end-time order (the shared buffer's own order).
+func (s *Source) SetFill(fill func(out *buffer.Buf)) { s.fill = fill }
+
+// Out returns the output buffer.
+func (s *Source) Out() *buffer.Buf { return s.out }
+
+// Assemble pulls new shared records into the output buffer.
+func (s *Source) Assemble(eat, now int64) {
+	if s.fill != nil {
+		s.fill(s.out)
+	}
+}
+
+// Reset clears the pulled records (plan switching; the producer side is
+// unaffected, and the fill cursor does not rewind).
+func (s *Source) Reset() { s.out.Clear() }
+
+// Children returns nil: the producing subtree lives in another plan.
+func (s *Source) Children() []Node { return nil }
+
+// Label names the node.
+func (s *Source) Label() string { return "shared-source" }
+
+var _ Node = (*Source)(nil)

@@ -1,9 +1,3 @@
-// Package optimizer searches for the optimal physical tree plan of a query
-// (§5.2): algebraic rewrites are applied during analysis (query.Normalize,
-// §5.2.1), equality predicates become hash lookups when enabled (§5.2.2),
-// and operator order is chosen by the dynamic program of Algorithm 5
-// (§5.2.3), which exploits the optimal-substructure property of Theorem 5.1
-// and considers bushy plans.
 package optimizer
 
 import (

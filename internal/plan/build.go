@@ -116,6 +116,118 @@ func Build(q *query.Query, shape *Shape, opts Options, leaves []*operator.Leaf) 
 	return p, nil
 }
 
+// BuildSharedPrefix constructs a physical plan for q whose first prefixLen
+// classes are not evaluated locally: their buffering and joining is
+// delegated to a shared subplan (one producer serving many queries), and
+// src — a leaf-position node the runtime wires to the producer's output —
+// stands in for the whole prefix subtree. The remaining units chain onto
+// src left-deep; predicates fully contained in the prefix are the
+// producer's responsibility and are skipped here, while predicates
+// spanning the prefix and later classes attach to the joins above src as
+// usual. Prefix classes get shadow leaves (filter evaluation and observer
+// accounting without buffering), so ProcessAdmitted/Process behave exactly
+// as in an unshared engine.
+//
+// The prefix must be a leading run of UnitSimple units covering classes
+// 0..prefixLen-1 under opts.Negation — callers establish eligibility with
+// query.SharablePrefix plus the unit check (see core.SharedPrefixLen).
+func BuildSharedPrefix(q *query.Query, opts Options, prefixLen int, src operator.Node) (*Plan, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("plan: query not analyzed")
+	}
+	units, topNegs, err := Units(in, opts.Negation)
+	if err != nil {
+		return nil, err
+	}
+	if prefixLen < 2 || prefixLen >= len(units) {
+		return nil, fmt.Errorf("plan: shared prefix of %d units needs at least one local unit above it (%d units total)", prefixLen, len(units))
+	}
+	for i := 0; i < prefixLen; i++ {
+		if units[i].Kind != UnitSimple || units[i].Classes[0] != i {
+			return nil, fmt.Errorf("plan: unit %d (%s) is not a plain class; prefix not shareable", i, units[i])
+		}
+	}
+
+	b := &builder{q: q, in: in, opts: opts, units: units, window: q.Within,
+		predPlaced: make([]bool, len(in.Preds)), shadowPrefix: prefixLen}
+	b.findDisjClasses()
+	if err := b.makeLeaves(); err != nil {
+		return nil, err
+	}
+	// Predicates fully inside the prefix are evaluated by the producer.
+	prefixCls := make([]int, prefixLen)
+	for c := 0; c < prefixLen; c++ {
+		prefixCls[c] = c
+	}
+	for i, pi := range in.Preds {
+		if !pi.Single() && !pi.HasAgg && pi.Classes[len(pi.Classes)-1] < prefixLen {
+			b.predPlaced[i] = true
+		}
+	}
+
+	node := src
+	built := append([]int{}, prefixCls...)
+	for ui := prefixLen; ui < len(units); ui++ {
+		u := units[ui]
+		un, err := b.buildUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		cover := append(append([]int{}, built...), u.Classes...)
+		sort.Ints(cover)
+		preds, hashJoin, err := b.nodePreds(cover, built, u.Classes, true)
+		if err != nil {
+			return nil, err
+		}
+		var guards []operator.PairGuard
+		if u.Kind == UnitNSeqLeft {
+			guards = append(guards, negLeftGuard(u.NegClasses))
+		}
+		dropRight := !b.opts.Adaptive || u.Kind != UnitSimple
+		seq := operator.NewSeq(node, un, b.window, guards, preds, dropRight)
+		if hashJoin != nil {
+			seq.UseHash(*hashJoin)
+		}
+		node = seq
+		built = append(built, u.Classes...)
+		sort.Ints(built)
+	}
+	var root operator.Node = node
+
+	if len(topNegs) > 0 {
+		specs := make([]operator.NegSpec, 0, len(topNegs))
+		for _, tn := range topNegs {
+			pred, err := b.negPred(tn.NegClasses)
+			if err != nil {
+				return nil, err
+			}
+			bufs := make([]*buffer.Buf, len(tn.NegClasses))
+			for i, c := range tn.NegClasses {
+				bufs[i] = b.leaves[c].Out()
+			}
+			specs = append(specs, operator.NegSpec{
+				NegBufs: bufs, Pred: pred, Prev: tn.Prev, Next: tn.Next,
+			})
+		}
+		root = operator.NewNegFilter(root, specs, q.Within)
+	}
+
+	for i, placed := range b.predPlaced {
+		pi := in.Preds[i]
+		if !placed && !pi.Single() && !b.isNegPred(pi) && !b.withinOneDisj(pi) {
+			return nil, fmt.Errorf("plan: predicate %s was not placed", pi)
+		}
+	}
+
+	p := &Plan{
+		Root: root, Leaves: b.leaves, Window: q.Within, Info: in,
+		Units: units, Shape: nil, Opts: opts, emitChecks: b.emitChecks,
+	}
+	p.collectBuffers()
+	return p, nil
+}
+
 // collectBuffers walks the tree gathering every buffer (plus negation leaf
 // buffers referenced by NSEQ/NEG nodes, which are leaves and already
 // counted).
@@ -179,6 +291,9 @@ type builder struct {
 	predPlaced  []bool
 	disjClasses map[int]bool
 	emitChecks  []func(*buffer.Record) bool
+	// shadowPrefix > 0 marks classes [0, shadowPrefix) as delegated to a
+	// shared subplan: their leaves evaluate filters but never buffer.
+	shadowPrefix int
 }
 
 // findDisjClasses records which classes belong to disjunction units: a
@@ -214,7 +329,11 @@ func (b *builder) makeLeaves() error {
 		if len(cmps) == 0 {
 			filter = nil
 		}
-		b.leaves[c] = operator.NewLeaf(c, n, filter)
+		if c < b.shadowPrefix {
+			b.leaves[c] = operator.NewShadowLeaf(c, n, filter)
+		} else {
+			b.leaves[c] = operator.NewLeaf(c, n, filter)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,18 @@
+// Package plan turns an analyzed query into a physical tree plan (§4.1):
+// leaf buffers with pushed-down single-class predicates, internal operator
+// nodes with multi-class predicates, hash-based equality evaluation
+// (§5.2.2), and negation placed either as an NSEQ push-down or as a final
+// NEG filter (§4.4.2).
+//
+// Planning happens in two steps: the pattern's terms are grouped into
+// *units* — the leaf blocks of operator ordering (a plain class, a
+// conjunction, a disjunction, a fused KSEQ triple, or a class fused with an
+// adjacent negation) — and a binary *shape* over the units picks the order
+// in which sequence operators combine them (left-deep, right-deep, bushy,
+// or an arbitrary tree produced by the optimizer's dynamic program).
+//
+// BuildSharedPrefix is the shared-subplan variant of Build: the leading
+// run of single-class units is replaced by an externally fed source node
+// (the shared producer's output), with prefix-internal predicates skipped
+// locally and cross-boundary predicates attached to the joins above it.
+package plan

@@ -1,15 +1,3 @@
-// Package plan turns an analyzed query into a physical tree plan (§4.1):
-// leaf buffers with pushed-down single-class predicates, internal operator
-// nodes with multi-class predicates, hash-based equality evaluation
-// (§5.2.2), and negation placed either as an NSEQ push-down or as a final
-// NEG filter (§4.4.2).
-//
-// Planning happens in two steps: the pattern's terms are grouped into
-// *units* — the leaf blocks of operator ordering (a plain class, a
-// conjunction, a disjunction, a fused KSEQ triple, or a class fused with an
-// adjacent negation) — and a binary *shape* over the units picks the order
-// in which sequence operators combine them (left-deep, right-deep, bushy,
-// or an arbitrary tree produced by the optimizer's dynamic program).
 package plan
 
 import (
@@ -39,6 +27,7 @@ const (
 	UnitNSeqRight
 )
 
+// String implements fmt.Stringer.
 func (k UnitKind) String() string {
 	return [...]string{"class", "conj", "disj", "kseq", "nseq<", "nseq>"}[k]
 }
@@ -82,6 +71,7 @@ func (u *Unit) NonNegClasses() []int {
 	return out
 }
 
+// String implements fmt.Stringer.
 func (u *Unit) String() string {
 	return fmt.Sprintf("%s%v", u.Kind, u.Classes)
 }
@@ -371,6 +361,7 @@ func (s *Shape) Validate(n int) error {
 	return nil
 }
 
+// String implements fmt.Stringer.
 func (s *Shape) String() string {
 	if s.Unit >= 0 {
 		return fmt.Sprint(s.Unit)

@@ -21,6 +21,7 @@ const (
 	TermDisj
 )
 
+// String implements fmt.Stringer.
 func (k TermKind) String() string {
 	return [...]string{"class", "neg", "kleene", "conj", "disj"}[k]
 }
@@ -62,6 +63,7 @@ type EqJoin struct {
 	AttrL, AttrR   string
 }
 
+// String implements fmt.Stringer.
 func (p *PredInfo) String() string { return p.Cmp.String() }
 
 // Single reports whether the predicate touches exactly one class.

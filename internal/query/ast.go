@@ -1,14 +1,3 @@
-// Package query implements the ZStream CEP query language of §3:
-//
-//	PATTERN  composite event expression  (';' sequence, '&' conjunction,
-//	         '|' disjunction, '!' negation, '*'/'+'/'^n' Kleene closure)
-//	WHERE    value constraints (conjunction of comparison predicates)
-//	WITHIN   time constraint (window)
-//	RETURN   output expression
-//
-// The package provides the lexer, the AST, a recursive-descent parser, and
-// semantic analysis that numbers event classes and classifies predicates
-// for the planner.
 package query
 
 import (
@@ -66,6 +55,7 @@ const (
 	ClosureCount
 )
 
+// String implements fmt.Stringer.
 func (k ClosureKind) String() string {
 	switch k {
 	case ClosureNone:
@@ -94,6 +84,7 @@ func (*Disj) patternNode()   {}
 func (*Not) patternNode()    {}
 func (*Kleene) patternNode() {}
 
+// String implements fmt.Stringer.
 func (c *Class) String() string { return c.Alias }
 
 func joinPattern(items []PatternExpr, sep string, parentPrec, prec int) string {
@@ -137,10 +128,19 @@ func patternString(p PatternExpr, parentPrec int) string {
 	}
 }
 
-func (s *Seq) String() string    { return patternString(s, 0) }
-func (c *Conj) String() string   { return patternString(c, 0) }
-func (d *Disj) String() string   { return patternString(d, 0) }
-func (n *Not) String() string    { return patternString(n, 0) }
+// String implements fmt.Stringer.
+func (s *Seq) String() string { return patternString(s, 0) }
+
+// String implements fmt.Stringer.
+func (c *Conj) String() string { return patternString(c, 0) }
+
+// String implements fmt.Stringer.
+func (d *Disj) String() string { return patternString(d, 0) }
+
+// String implements fmt.Stringer.
+func (n *Not) String() string { return patternString(n, 0) }
+
+// String implements fmt.Stringer.
 func (k *Kleene) String() string { return patternString(k, 0) }
 
 // ---------------------------------------------------------------------------
@@ -175,12 +175,17 @@ type StrLit struct {
 type ArithOp int
 
 const (
+	// OpAdd is addition.
 	OpAdd ArithOp = iota
+	// OpSub is subtraction.
 	OpSub
+	// OpMul is multiplication.
 	OpMul
+	// OpDiv is division.
 	OpDiv
 )
 
+// String implements fmt.Stringer.
 func (o ArithOp) String() string {
 	return [...]string{"+", "-", "*", "/"}[o]
 }
@@ -195,15 +200,21 @@ type Arith struct {
 type AggFn int
 
 const (
+	// AggSum sums the attribute over the closure group.
 	AggSum AggFn = iota
+	// AggAvg averages the attribute over the closure group.
 	AggAvg
+	// AggCount counts the closure group events.
 	AggCount
+	// AggMin takes the minimum over the closure group.
 	AggMin
+	// AggMax takes the maximum over the closure group.
 	AggMax
 )
 
 var aggNames = [...]string{"sum", "avg", "count", "min", "max"}
 
+// String implements fmt.Stringer.
 func (f AggFn) String() string { return aggNames[f] }
 
 // aggByName maps a lower-cased function name to its AggFn.
@@ -224,28 +235,44 @@ func (*StrLit) exprNode()  {}
 func (*Arith) exprNode()   {}
 func (*Agg) exprNode()     {}
 
+// String implements fmt.Stringer.
 func (a *AttrRef) String() string { return a.Alias + "." + a.Attr }
+
+// String implements fmt.Stringer.
 func (n *NumLit) String() string {
 	return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%f", n.V), "0"), ".")
 }
+
+// String implements fmt.Stringer.
 func (s *StrLit) String() string { return "'" + s.V + "'" }
+
+// String implements fmt.Stringer.
 func (a *Arith) String() string {
 	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
 }
+
+// String implements fmt.Stringer.
 func (a *Agg) String() string { return fmt.Sprintf("%s(%s)", a.Fn, a.Arg) }
 
 // CmpOp is a comparison operator.
 type CmpOp int
 
 const (
+	// CmpEq is '='.
 	CmpEq CmpOp = iota
+	// CmpNeq is '!='.
 	CmpNeq
+	// CmpLt is '<'.
 	CmpLt
+	// CmpLte is '<='.
 	CmpLte
+	// CmpGt is '>'.
 	CmpGt
+	// CmpGte is '>='.
 	CmpGte
 )
 
+// String implements fmt.Stringer.
 func (o CmpOp) String() string {
 	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
 }
@@ -274,6 +301,7 @@ type Cmp struct {
 	L, R Expr
 }
 
+// String implements fmt.Stringer.
 func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +316,7 @@ type ReturnItem struct {
 	As   string
 }
 
+// String implements fmt.Stringer.
 func (r ReturnItem) String() string {
 	s := r.Expr.String()
 	if ar, ok := r.Expr.(*AttrRef); ok && ar.Attr == "" {
@@ -310,6 +339,7 @@ type Query struct {
 	Info *Info
 }
 
+// String implements fmt.Stringer.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("PATTERN ")

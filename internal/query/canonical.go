@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -121,4 +122,244 @@ func attrLit(a, l Expr) (string, Expr, bool) {
 		return ar.Attr, l, true
 	}
 	return "", nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Subtree and whole-query fingerprints (cross-query subplan sharing)
+// ---------------------------------------------------------------------------
+//
+// The atom fingerprints above are alias-free because the router evaluates a
+// single-class predicate against one primitive event, where the class is
+// implicit. Subplan sharing needs the opposite: fingerprints over *analyzed*
+// queries where each attribute reference is pinned to its positional class
+// index, so that two parameterized queries agree exactly when their
+// canonical subtrees perform the same buffering, joining and filtering work
+// on the same class positions. Aliases never appear — `PATTERN A; B` and
+// `PATTERN X; Y` with the same predicates fingerprint identically.
+
+// fingerprintExprIdx renders a value expression with attribute references
+// pinned to class indexes (`#2.price`). The expression must come from an
+// analyzed query (AttrRef.Class resolved); ok follows Fingerprint's
+// contract.
+func fingerprintExprIdx(b *strings.Builder, e Expr) bool {
+	switch x := e.(type) {
+	case *AttrRef:
+		fmt.Fprintf(b, "#%d.%s", x.Class, x.Attr)
+	case *NumLit:
+		b.WriteString(strconv.FormatFloat(x.V, 'g', -1, 64))
+	case *StrLit:
+		b.WriteString(strconv.Quote(x.V))
+	case *Arith:
+		fmt.Fprintf(b, "(%s ", x.Op)
+		ok := fingerprintExprIdx(b, x.L)
+		b.WriteByte(' ')
+		ok2 := fingerprintExprIdx(b, x.R)
+		b.WriteByte(')')
+		return ok && ok2
+	case *Agg:
+		fmt.Fprintf(b, "%s(", x.Fn)
+		ok := fingerprintExprIdx(b, x.Arg)
+		b.WriteByte(')')
+		return ok
+	default:
+		return false
+	}
+	return true
+}
+
+// FingerprintPred returns the class-indexed canonical fingerprint of a
+// comparison from an analyzed query. Orientation is normalized exactly like
+// FingerprintCmp (operands ordered by serialization, operator mirrored), so
+// `#0.price > 90` and `90 < #0.price` agree. ok is false when the predicate
+// contains a node kind canonicalization does not know; such predicates must
+// not be used for sharing decisions.
+func FingerprintPred(c *Cmp) (fp string, ok bool) {
+	var lb, rb strings.Builder
+	lok := fingerprintExprIdx(&lb, c.L)
+	rok := fingerprintExprIdx(&rb, c.R)
+	l, r := lb.String(), rb.String()
+	op := c.Op
+	if l > r {
+		l, r = r, l
+		op = mirror(op)
+	}
+	return l + " " + op.String() + " " + r, lok && rok
+}
+
+// FingerprintQuery returns a canonical fingerprint of a whole analyzed
+// query: pattern structure (term kinds, arities, closure forms), the sorted
+// class-indexed predicate set, the window, and the RETURN clause including
+// its effective output names (which are observable in Match.Fields). Two
+// queries with equal fingerprints produce byte-identical match streams over
+// any input, so a multi-query runtime may alias them onto one engine and
+// fan the matches out. ok is false when any part is not canonicalizable.
+func FingerprintQuery(q *Query) (fp string, ok bool) {
+	in := q.Info
+	if in == nil {
+		return "", false
+	}
+	ok = true
+	var b strings.Builder
+	b.WriteString("P:")
+	for _, t := range in.Terms {
+		fmt.Fprintf(&b, "%s/%d", t.Kind, len(t.Classes))
+		if t.Kind == TermKleene {
+			fmt.Fprintf(&b, "%s%d", t.Closure, t.Count)
+		}
+		b.WriteByte(';')
+	}
+	fmt.Fprintf(&b, "|W:%d|C:", q.Within)
+	fps := make([]string, 0, len(in.Preds))
+	for _, pi := range in.Preds {
+		pfp, pok := FingerprintPred(pi.Cmp)
+		if !pok {
+			ok = false
+		}
+		fps = append(fps, pfp)
+	}
+	sort.Strings(fps)
+	b.WriteString(strings.Join(fps, "&"))
+	b.WriteString("|R:")
+	for _, item := range q.Return {
+		name := item.As
+		if name == "" {
+			name = item.String()
+		}
+		if ar, isRef := item.Expr.(*AttrRef); isRef && ar.Attr == "" {
+			fmt.Fprintf(&b, "[#%d AS %q]", ar.Class, name)
+			continue
+		}
+		var eb strings.Builder
+		if !fingerprintExprIdx(&eb, item.Expr) {
+			ok = false
+		}
+		fmt.Fprintf(&b, "[%s AS %q]", eb.String(), name)
+	}
+	return b.String(), ok
+}
+
+// SharablePrefix returns the length k of the longest leading run of plain
+// event classes (classes 0..k-1) whose buffering and joining work can be
+// materialized once and shared across queries, or 0 when no such prefix
+// exists. The prefix must:
+//
+//   - consist of plain TermClass terms only (no negation, closure,
+//     conjunction or disjunction — those fuse into multi-class planning
+//     units whose boundaries may absorb an adjacent plain class);
+//   - stop one class short of a following Kleene term (KSEQ fuses the
+//     preceding class as its start anchor) or negation term (a trailing
+//     negation fuses its preceding class as the NSEQ anchor);
+//   - exclude final classes: assembly rounds trigger on final-class
+//     instances buffered by the query's own engine, so a shared prefix may
+//     only cover classes whose arrival never completes a match;
+//   - cover at least two classes — sharing a lone leaf buffer saves no
+//     assembly work.
+func SharablePrefix(in *Info) int {
+	j := 0
+	for j < len(in.Terms) && in.Terms[j].Kind == TermClass {
+		j++
+	}
+	k := j // TermClass terms bind exactly one class each, in order
+	if j < len(in.Terms) {
+		switch in.Terms[j].Kind {
+		case TermKleene, TermNeg:
+			k--
+		}
+	}
+	final := map[int]bool{}
+	for _, c := range in.FinalClasses {
+		final[c] = true
+	}
+	for k > 0 && final[k-1] {
+		k--
+	}
+	if k < 2 {
+		return 0
+	}
+	return k
+}
+
+// PrefixFingerprint returns the canonical fingerprint of the length-k class
+// prefix of an analyzed query: the per-class single-class predicate sets,
+// the multi-class predicates fully contained in classes [0,k), and the
+// window (which constrains the prefix joins). Queries with equal prefix
+// fingerprints perform identical prefix work and may consume one shared
+// materialization; ok is false when any prefix predicate is not
+// canonicalizable.
+func PrefixFingerprint(q *Query, k int) (fp string, ok bool) {
+	in := q.Info
+	if in == nil {
+		return "", false
+	}
+	ok = true
+	var fps []string
+	for _, pi := range in.Preds {
+		if pi.HasAgg || pi.Classes[len(pi.Classes)-1] >= k {
+			continue // not fully inside the prefix
+		}
+		pfp, pok := FingerprintPred(pi.Cmp)
+		if !pok {
+			ok = false
+		}
+		fps = append(fps, pfp)
+	}
+	sort.Strings(fps)
+	return fmt.Sprintf("k=%d|w=%d|%s", k, q.Within, strings.Join(fps, "&")), ok
+}
+
+// PrefixQuery builds a standalone analyzed query evaluating exactly the
+// length-k class prefix of q: the first k classes in sequence, with every
+// predicate fully contained in them (deep-cloned, so analysis of the new
+// query never mutates q's AST), under q's window. A shared-subplan producer
+// compiles it into the one materialization all subscribing queries consume.
+func PrefixQuery(q *Query, k int) (*Query, error) {
+	in := q.Info
+	if in == nil {
+		return nil, fmt.Errorf("query: PrefixQuery on unanalyzed query")
+	}
+	if k < 2 || k >= in.NumClasses() {
+		return nil, fmt.Errorf("query: prefix length %d out of range for %d classes", k, in.NumClasses())
+	}
+	items := make([]PatternExpr, k)
+	for i := 0; i < k; i++ {
+		items[i] = &Class{Alias: in.Classes[i].Alias}
+	}
+	nq := &Query{Pattern: &Seq{Items: items}, Within: q.Within}
+	for _, pi := range in.Preds {
+		if pi.HasAgg || pi.Classes[len(pi.Classes)-1] >= k {
+			continue
+		}
+		nq.Where = append(nq.Where, cloneCmp(pi.Cmp))
+	}
+	nq.Return = []ReturnItem{{Expr: &AttrRef{Alias: in.Classes[0].Alias}}}
+	if err := Analyze(nq); err != nil {
+		return nil, err
+	}
+	return nq, nil
+}
+
+// cloneCmp deep-copies a comparison so a synthetic query can be re-analyzed
+// without mutating the originating query's AST.
+func cloneCmp(c *Cmp) *Cmp {
+	return &Cmp{Op: c.Op, L: cloneExpr(c.L), R: cloneExpr(c.R)}
+}
+
+func cloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *AttrRef:
+		cp := *x
+		return &cp
+	case *NumLit:
+		cp := *x
+		return &cp
+	case *StrLit:
+		cp := *x
+		return &cp
+	case *Arith:
+		return &Arith{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case *Agg:
+		arg, _ := cloneExpr(x.Arg).(*AttrRef)
+		return &Agg{Fn: x.Fn, Arg: arg}
+	}
+	return e // unknown node kinds are never cloned into shared plans
 }

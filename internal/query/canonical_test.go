@@ -1,6 +1,9 @@
 package query
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // whereOf parses a query and returns its WHERE predicates.
 func whereOf(t *testing.T, src string) []*Cmp {
@@ -118,5 +121,240 @@ func TestFingerprintUnknownNodeNotCanonical(t *testing.T) {
 	}
 	if _, ok := FingerprintCmp(&Cmp{Op: CmpGt, L: &Arith{Op: OpMul, L: bogusExpr{}, R: &NumLit{V: 2}}, R: &NumLit{V: 1}}); ok {
 		t.Error("nested unknown node fingerprinted ok")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Subtree / whole-query fingerprints (shared-subplan layer)
+// ---------------------------------------------------------------------------
+
+// analyzed parses and analyzes a query.
+func analyzed(t testing.TB, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+// queryFP fingerprints a whole query, requiring canonicalization.
+func queryFP(t *testing.T, src string) string {
+	t.Helper()
+	fp, ok := FingerprintQuery(analyzed(t, src))
+	if !ok {
+		t.Fatalf("FingerprintQuery(%q) not canonicalizable", src)
+	}
+	return fp
+}
+
+func TestFingerprintQueryAliasIndependent(t *testing.T) {
+	a := queryFP(t, `PATTERN A; B WHERE A.price > 90 AND B.price < A.price WITHIN 10 RETURN A.price AS p`)
+	b := queryFP(t, `PATTERN X; Y WHERE 90 < X.price AND X.price > Y.price WITHIN 10 RETURN X.price AS p`)
+	if a != b {
+		t.Errorf("alias-renamed queries fingerprint differently:\n  %q\n  %q", a, b)
+	}
+}
+
+func TestFingerprintQueryDistinguishesOutputNames(t *testing.T) {
+	// Whole-class RETURN items default their field name to the alias,
+	// which is observable in Match.Fields — so alias renames without AS
+	// must NOT dedupe, while renames under AS must.
+	a := queryFP(t, `PATTERN A; B WHERE A.price > 90 WITHIN 10 RETURN A, B`)
+	b := queryFP(t, `PATTERN X; Y WHERE X.price > 90 WITHIN 10 RETURN X, Y`)
+	if a == b {
+		t.Error("queries with different observable field names collide")
+	}
+}
+
+func TestFingerprintQueryDistinguishesStructure(t *testing.T) {
+	srcs := []string{
+		`PATTERN A; B WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A; B WHERE A.price > 90 WITHIN 11`,
+		`PATTERN A; B WHERE A.price > 91 WITHIN 10`,
+		`PATTERN A; B WHERE B.price > 90 WITHIN 10`,
+		`PATTERN A; B; C WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A; !B; C WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A; B+ WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A; B* WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A & B WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A | B WHERE A.price > 90 WITHIN 10`,
+	}
+	fps := map[string]string{}
+	for _, src := range srcs {
+		fp := queryFP(t, src)
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("distinct queries collide on %q:\n  %s\n  %s", fp, prev, src)
+		}
+		fps[fp] = src
+	}
+}
+
+func TestSharablePrefixShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// final class C excluded; A;B shareable
+		{`PATTERN A; B; C WHERE A.price > 1 WITHIN 10`, 2},
+		// whole query is A;B: final class B trims to 1 -> ineligible
+		{`PATTERN A; B WHERE A.price > 1 WITHIN 10`, 0},
+		// four classes: A;B;C shareable
+		{`PATTERN A; B; C; D WITHIN 10`, 3},
+		// trailing negation may anchor B -> prefix stops before B
+		{`PATTERN A; B; !C WITHIN 10`, 0},
+		// negation mid-pattern: prefix stops before it
+		{`PATTERN A; B; !C; D WITHIN 10`, 0},
+		{`PATTERN A; B; C; !D; E WITHIN 10`, 2},
+		// Kleene absorbs its start anchor C -> prefix is A;B
+		{`PATTERN A; B; C; D+ WITHIN 10`, 2},
+		// Kleene directly after two classes absorbs B
+		{`PATTERN A; B; C+ WITHIN 10`, 0},
+		// star closure keeps B final (zero occurrences) -> trim to 1
+		{`PATTERN A; B; C* WITHIN 10`, 0},
+		// conjunction/disjunction after the prefix do not absorb
+		{`PATTERN A; B; C & D WITHIN 10`, 2},
+		{`PATTERN A; B; C | D WITHIN 10`, 2},
+		// leading non-class terms: no prefix
+		{`PATTERN A & B; C WITHIN 10`, 0},
+		{`PATTERN A+; B; C WITHIN 10`, 0},
+	}
+	for _, c := range cases {
+		q := analyzed(t, c.src)
+		if got := SharablePrefix(q.Info); got != c.want {
+			t.Errorf("SharablePrefix(%s) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrefixFingerprintProperties(t *testing.T) {
+	type gen struct{ src string }
+	// The workload generators' parameterized query space: per-symbol
+	// families over a handful of templates, varying symbol, threshold and
+	// suffix. Queries agreeing on (template prefix, symbol, window) — and
+	// nothing else — must share a prefix fingerprint; everything else must
+	// not collide.
+	var same, diff []string
+	same = append(same,
+		`PATTERN A; B; C WHERE A.name = 'S01' AND A.price > 40 AND B.name = 'S01' AND B.price < A.price AND C.price > 90 WITHIN 30`,
+		`PATTERN X; Y; Z WHERE X.name = 'S01' AND 40 < X.price AND Y.name = 'S01' AND Y.price < X.price AND Z.price < 80 WITHIN 30`,
+		`PATTERN A; B; C; D+ WHERE A.name = 'S01' AND A.price > 40 AND B.name = 'S01' AND B.price < A.price AND D.volume > 1 WITHIN 30`,
+	)
+	diff = append(diff,
+		`PATTERN A; B; C WHERE A.name = 'S02' AND A.price > 40 AND B.name = 'S02' AND B.price < A.price WITHIN 30`, // other symbol
+		`PATTERN A; B; C WHERE A.name = 'S01' AND A.price > 41 AND B.name = 'S01' AND B.price < A.price WITHIN 30`, // other threshold
+		`PATTERN A; B; C WHERE A.name = 'S01' AND A.price > 40 AND B.name = 'S01' AND B.price > A.price WITHIN 30`, // flipped join
+		`PATTERN A; B; C WHERE A.name = 'S01' AND A.price > 40 AND B.name = 'S01' AND B.price < A.price WITHIN 31`, // other window
+		`PATTERN A; B; C WHERE B.name = 'S01' AND B.price > 40 AND A.name = 'S01' AND A.price < B.price WITHIN 30`, // classes swapped
+	)
+	base := ""
+	for i, src := range same {
+		q := analyzed(t, src)
+		k := SharablePrefix(q.Info)
+		if k != 2 {
+			t.Fatalf("SharablePrefix(%s) = %d, want 2", src, k)
+		}
+		fp, ok := PrefixFingerprint(q, k)
+		if !ok {
+			t.Fatalf("PrefixFingerprint(%s) not canonicalizable", src)
+		}
+		if i == 0 {
+			base = fp
+		} else if fp != base {
+			t.Errorf("same-prefix query fingerprints differ:\n  %q\n  %q\n  (%s)", base, fp, src)
+		}
+	}
+	for _, src := range diff {
+		q := analyzed(t, src)
+		k := SharablePrefix(q.Info)
+		if k != 2 {
+			t.Fatalf("SharablePrefix(%s) = %d, want 2", src, k)
+		}
+		fp, ok := PrefixFingerprint(q, k)
+		if !ok {
+			t.Fatalf("PrefixFingerprint(%s) not canonicalizable", src)
+		}
+		if fp == base {
+			t.Errorf("different prefix collides with base: %s", src)
+		}
+	}
+}
+
+// TestPrefixFingerprintNoCollisionsAcrossSpace sweeps a parameterized
+// query space shaped like the fan-out workload generators' (templates x
+// symbols x thresholds) and checks that prefix fingerprints partition it
+// exactly: equal iff (template's prefix shape, symbol, threshold bucket,
+// window) agree.
+func TestPrefixFingerprintNoCollisionsAcrossSpace(t *testing.T) {
+	type key struct {
+		tmpl int
+		sym  int
+		d    int
+	}
+	fps := map[string]key{}
+	for tmpl := 0; tmpl < 2; tmpl++ {
+		for sym := 0; sym < 6; sym++ {
+			for d := 0; d < 4; d++ {
+				var src string
+				name := fmt.Sprintf("S%02d", sym)
+				th := 40 + 10*d
+				switch tmpl {
+				case 0:
+					src = fmt.Sprintf(`PATTERN A; B; C WHERE A.name = '%s' AND A.price > %d AND B.name = '%s' AND B.price < A.price WITHIN 30`, name, th, name)
+				default:
+					src = fmt.Sprintf(`PATTERN A; B; C WHERE A.name = '%s' AND A.volume > %d AND B.name = '%s' AND B.price < A.price WITHIN 30`, name, th, name)
+				}
+				q := analyzed(t, src)
+				k := SharablePrefix(q.Info)
+				if k != 2 {
+					t.Fatalf("SharablePrefix(%s) = %d", src, k)
+				}
+				fp, ok := PrefixFingerprint(q, k)
+				if !ok {
+					t.Fatalf("not canonicalizable: %s", src)
+				}
+				want := key{tmpl, sym, d}
+				if prev, dup := fps[fp]; dup && prev != want {
+					t.Errorf("prefix collision between %v and %v on %q", prev, want, fp)
+				}
+				fps[fp] = want
+			}
+		}
+	}
+	if len(fps) != 2*6*4 {
+		t.Errorf("expected %d distinct prefixes, got %d", 2*6*4, len(fps))
+	}
+}
+
+func TestPrefixQueryEvaluatesPrefixOnly(t *testing.T) {
+	q := analyzed(t, `PATTERN A; B; C
+		WHERE A.name = 'S01' AND A.price > 40 AND B.name = 'S01' AND B.price < A.price
+		  AND C.price > A.price AND C.name = 'S01'
+		WITHIN 30`)
+	pq, err := PrefixQuery(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pq.Info.NumClasses(); got != 2 {
+		t.Fatalf("prefix query has %d classes, want 2", got)
+	}
+	if got := len(pq.Where); got != 4 {
+		t.Fatalf("prefix query has %d predicates, want 4 (C predicates excluded)", got)
+	}
+	if pq.Within != q.Within {
+		t.Errorf("window not carried over")
+	}
+	// Deep clone: re-analysis of the prefix must not have mutated the
+	// original query's AST class indexes.
+	for _, pi := range q.Info.Preds {
+		for _, cls := range pi.Classes {
+			if cls < 0 || cls >= q.Info.NumClasses() {
+				t.Fatalf("original query class index corrupted: %d", cls)
+			}
+		}
+	}
+	fpA, _ := FingerprintQuery(q)
+	if fpB, _ := FingerprintQuery(q); fpA != fpB {
+		t.Error("fingerprint not stable after PrefixQuery")
 	}
 }

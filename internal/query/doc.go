@@ -1,0 +1,19 @@
+// Package query implements the ZStream CEP query language of §3:
+//
+//	PATTERN  composite event expression  (';' sequence, '&' conjunction,
+//	         '|' disjunction, '!' negation, '*'/'+'/'^n' Kleene closure)
+//	WHERE    value constraints (conjunction of comparison predicates)
+//	WITHIN   time constraint (window)
+//	RETURN   output expression
+//
+// The package provides the lexer, the AST, a recursive-descent parser, and
+// semantic analysis that numbers event classes and classifies predicates
+// for the planner.
+//
+// canonical.go renders predicates, whole queries and query prefixes into
+// alias-independent canonical fingerprints, the identities behind the
+// multi-query router's predicate interning (internal/router) and the
+// runtime's cross-query execution sharing: whole-query dedupe
+// (FingerprintQuery) and shared-subplan prefixes (SharablePrefix,
+// PrefixFingerprint, PrefixQuery).
+package query

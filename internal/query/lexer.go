@@ -14,6 +14,7 @@ type Error struct {
 	Msg string
 }
 
+// Error implements error.
 func (e *Error) Error() string { return fmt.Sprintf("query: at offset %d: %s", e.Pos, e.Msg) }
 
 func errAt(pos int, format string, args ...any) *Error {

@@ -6,41 +6,70 @@ import "fmt"
 type TokKind int
 
 const (
+	// TokEOF marks the end of input.
 	TokEOF TokKind = iota
+	// TokIdent is an identifier (class alias, attribute, function).
 	TokIdent
+	// TokNumber is a numeric literal.
 	TokNumber
+	// TokString is a quoted string literal.
 	TokString
 
-	// keywords
+	// TokPattern is the PATTERN keyword.
 	TokPattern
+	// TokWhere is the WHERE keyword.
 	TokWhere
+	// TokAnd is the AND keyword.
 	TokAnd
+	// TokOr is the OR keyword.
 	TokOr
+	// TokNot is the NOT keyword.
 	TokNot // NOT keyword (alternative to '!')
+	// TokWithin is the WITHIN keyword.
 	TokWithin
+	// TokReturn is the RETURN keyword.
 	TokReturn
+	// TokAs is the AS keyword.
 	TokAs
 
-	// punctuation / operators
-	TokSemi   // ;
-	TokBang   // !
-	TokAmp    // &
-	TokPipe   // |
+	// TokSemi is ';' (sequence).
+	TokSemi // ;
+	// TokBang is '!' (negation).
+	TokBang // !
+	// TokAmp is '&' (conjunction).
+	TokAmp // &
+	// TokPipe is '|' (disjunction).
+	TokPipe // |
+	// TokLParen is '('.
 	TokLParen // (
+	// TokRParen is ')'.
 	TokRParen // )
-	TokComma  // ,
-	TokDot    // .
-	TokCaret  // ^
-	TokStar   // *
-	TokPlus   // +
-	TokMinus  // -
-	TokSlash  // /
-	TokEq     // =
-	TokNeq    // !=
-	TokLt     // <
-	TokLte    // <=
-	TokGt     // >
-	TokGte    // >=
+	// TokComma is ','.
+	TokComma // ,
+	// TokDot is '.' (attribute access).
+	TokDot // .
+	// TokCaret is '^' (counted closure).
+	TokCaret // ^
+	// TokStar is '*' (Kleene star).
+	TokStar // *
+	// TokPlus is '+' (Kleene plus, or addition in expressions).
+	TokPlus // +
+	// TokMinus is '-'.
+	TokMinus // -
+	// TokSlash is '/'.
+	TokSlash // /
+	// TokEq is '='.
+	TokEq // =
+	// TokNeq is '!='.
+	TokNeq // !=
+	// TokLt is '<'.
+	TokLt // <
+	// TokLte is '<='.
+	TokLte // <=
+	// TokGt is '>'.
+	TokGt // >
+	// TokGte is '>='.
+	TokGte // >=
 )
 
 var tokNames = map[TokKind]string{
@@ -52,6 +81,7 @@ var tokNames = map[TokKind]string{
 	TokSlash: "/", TokEq: "=", TokNeq: "!=", TokLt: "<", TokLte: "<=", TokGt: ">", TokGte: ">=",
 }
 
+// String implements fmt.Stringer.
 func (k TokKind) String() string {
 	if s, ok := tokNames[k]; ok {
 		return s
@@ -67,6 +97,7 @@ type Token struct {
 	Pos  int
 }
 
+// String implements fmt.Stringer.
 func (t Token) String() string {
 	switch t.Kind {
 	case TokIdent, TokString:

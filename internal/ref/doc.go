@@ -1,0 +1,7 @@
+// Package ref is a brute-force reference matcher: it enumerates every
+// combination of buffered events and checks the query semantics directly,
+// with no buffers, plans or incremental state. It is exponential and only
+// suitable for tests, where it serves as the oracle for differential
+// testing of the tree engine, every plan shape, the adaptive engine and the
+// NFA baseline.
+package ref

@@ -1,9 +1,3 @@
-// Package ref is a brute-force reference matcher: it enumerates every
-// combination of buffered events and checks the query semantics directly,
-// with no buffers, plans or incremental state. It is exponential and only
-// suitable for tests, where it serves as the oracle for differential
-// testing of the tree engine, every plan shape, the adaptive engine and the
-// NFA baseline.
 package ref
 
 import (
@@ -191,12 +185,15 @@ type refEnv struct {
 	bound map[int][]*event.Event
 }
 
+// Event implements expr.Env.
 func (r refEnv) Event(class int) *event.Event {
 	if evs := r.bound[class]; len(evs) == 1 {
 		return evs[0]
 	}
 	return nil
 }
+
+// Group implements expr.Env.
 func (r refEnv) Group(class int) []*event.Event { return r.bound[class] }
 
 // prevEnd returns the latest timestamp bound by terms before ti (skipping

@@ -1,32 +1,3 @@
-// Package runtime is the concurrent multi-query execution layer above
-// internal/core: one Runtime hosts many registered queries at once, shards
-// the input stream by a partition key across N worker goroutines (each
-// owning a per-shard core.Engine instance for every live query), ingests
-// events through batched bounded channels with backpressure, and merges the
-// per-worker match streams back into a single end-time-ordered output
-// (heap-merge driven by per-shard watermarks).
-//
-// # Partitioned semantics
-//
-// Every event is routed to exactly one shard by hashing its partition-key
-// attribute, and each shard evaluates every query over its substream
-// independently. A query is therefore evaluated with partition-local
-// semantics: matches combine only events that landed in the same shard.
-// For queries whose predicates equate the partition key across all event
-// classes (e.g. "T1.name = T2.name AND T2.name = T3.name" when partitioned
-// by "name", or the paper's §6.5 web-log query equating IPs when
-// partitioned by "ip"), every potential match is key-local, so the merged
-// output is exactly the output of a single global engine, for any shard
-// count. Queries that join across partition keys see only the shard-local
-// subset of those combinations; register those on a Runtime with Shards=1
-// (or a plain Engine) instead.
-//
-// # Ordering
-//
-// Ingest requires globally non-decreasing timestamps (the same contract as
-// core.Engine without a reordering stage). Matches are delivered by a
-// single merger goroutine in non-decreasing end-time order across all
-// queries and shards; per-query callbacks never run concurrently.
 package runtime
 
 import (
@@ -80,6 +51,13 @@ type Config struct {
 	// differential testing (and as an escape hatch); the router is
 	// semantics-preserving, so production runs should leave this false.
 	NaiveFanout bool
+	// NoSharing disables cross-query execution sharing: whole-query dedupe
+	// (textually identical queries aliased onto one engine with match
+	// fan-out) and shared-subplan prefixes (identical canonical class
+	// prefixes materialized once per shard). Sharing is semantics-
+	// preserving — match transcripts are byte-identical either way — so
+	// this knob exists for differential testing and as an escape hatch.
+	NoSharing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,10 +80,21 @@ func (c Config) withDefaults() Config {
 // snapshots of every query ever registered (PeakMemBytes sums per-engine
 // peaks, an upper bound on the true simultaneous peak).
 type Stats struct {
-	Shards           int
-	LiveQueries      int
-	EventsIngested   uint64
-	MatchesDelivered uint64
+	Shards      int
+	LiveQueries int
+	// EngineGroups counts distinct physical engine groups: with whole-
+	// query dedupe, textually identical queries share one group, so
+	// LiveQueries - EngineGroups is the number of aliased (free-riding)
+	// queries.
+	EngineGroups int
+	// SharedSubplans counts live shared-prefix producers (one logical
+	// producer per prefix family; each is instantiated on every shard).
+	// SharedPrefixConsumers is the number of engine groups reading them
+	// instead of buffering and joining their prefix privately.
+	SharedSubplans        int
+	SharedPrefixConsumers int
+	EventsIngested        uint64
+	MatchesDelivered      uint64
 	// EngineDeliveries counts (engine, event) deliveries across all
 	// shards. The naive path delivers every event to every live engine;
 	// the router only to engines with at least one admitting class, so
@@ -114,10 +103,47 @@ type Stats struct {
 	Engine           core.EngineStats
 }
 
-// registered tracks one live query.
+// registered tracks one live query: which engine group it belongs to.
 type registered struct {
-	id      QueryID
+	id  QueryID
+	key groupKey
+}
+
+// groupKey identifies an engine group: the whole-query canonical
+// fingerprint plus the exact engine configuration. Queries that are not
+// canonicalizable (or registered with NoSharing) get a unique synthetic
+// key, so every group — deduped or not — lives in the same registry.
+type groupKey struct {
+	fp  string
+	cfg core.Config
+}
+
+// groupState is one engine group: the per-shard physical engines shared by
+// every query aliased onto the group, plus the group's role in a prefix-
+// sharing family.
+type groupState struct {
+	gid     int64
+	members int
+	regSeq  uint64         // ingest sequence stamp at group creation
 	engines []*core.Engine // one per shard
+	// prefixKey is the canonical prefix fingerprint when the group's query
+	// has a shareable prefix ("" otherwise); consumer marks whether the
+	// group reads the family's shared producer (vs running the prefix
+	// privately as the family's first registrant).
+	prefixKey string
+	consumer  bool
+}
+
+// prefixState tracks one prefix-sharing family: how many live groups run
+// the prefix privately (the family's first registrant), how many consume
+// the shared producer, and the per-shard producers themselves (created
+// when the first consumer registers).
+type prefixState struct {
+	prods     []*core.Subplan // one per shard; nil until a consumer exists
+	prodID    int64
+	prodInfo  *query.Info
+	solos     int
+	consumers int
 }
 
 // Runtime hosts many queries concurrently over one partitioned stream.
@@ -137,12 +163,15 @@ type Runtime struct {
 	// by it. Workers and the merger never take it, and it is NOT held
 	// while sending to worker queues — backpressure blocks only sendMu,
 	// so Stats stays responsive while a slow shard catches up.
-	mu      sync.Mutex
-	closed  bool
-	nextID  QueryID
-	live    map[QueryID]*registered
-	retired core.EngineStats // folded counters of unregistered queries
-	pending [][]*event.Event
+	mu         sync.Mutex
+	closed     bool
+	nextID     QueryID
+	nextProdID int64 // negative, so producer ids never collide with group ids
+	live       map[QueryID]*registered
+	groups     map[groupKey]*groupState
+	prefixes   map[string]*prefixState
+	retired    core.EngineStats // folded counters of unregistered queries
+	pending    [][]*event.Event
 	// pendingSpare is the second outer batch array of the double buffer:
 	// sendLocked swaps it in so a flush allocates neither the outer array
 	// nor (thanks to event.GetBatch) the per-shard slices.
@@ -167,12 +196,15 @@ func New(cfg Config) *Runtime {
 		mergeCh:  make(chan mergeMsg, cfg.Shards*cfg.QueueLen+cfg.Shards),
 		merger:   make(chan struct{}),
 		live:     map[QueryID]*registered{},
+		groups:   map[groupKey]*groupState{},
+		prefixes: map[string]*prefixState{},
 		pending:  make([][]*event.Event, cfg.Shards),
 		lastTs:   math.MinInt64 / 2,
 	}
 	rt.pendingSpare = make([][]*event.Event, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen), delivered: &rt.engineDeliv}
+		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen), delivered: &rt.engineDeliv,
+			byGID: map[int64]*engineGroup{}, byProdID: map[int64]*prodEntry{}}
 		if !cfg.NaiveFanout {
 			w.router = router.New()
 		}
@@ -188,38 +220,163 @@ func New(cfg Config) *Runtime {
 // here, before any goroutine sees it; emit (may be nil) then receives the
 // query's matches from the merger goroutine in global end-time order. The
 // query starts observing events ingested after Register returns.
+//
+// Unless Config.NoSharing is set, registration shares execution with
+// already-live queries where provably safe:
+//
+//   - A query whose canonical fingerprint and engine configuration match a
+//     live group is aliased onto that group's engines (whole-query
+//     dedupe); its matches are fanned out from the shared engine, byte-
+//     identical to what a private engine would have emitted.
+//   - A query with a shareable canonical class prefix (core.SharedPrefixLen)
+//     joins its prefix family: the family's first registrant runs the
+//     prefix privately, and from the second registrant on, one shared
+//     subplan per shard materializes the prefix once for all consumers.
 func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Match)) (QueryID, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return 0, ErrClosed
 	}
+	rt.nextID++
+	id := rt.nextID
+	ts := rt.lastTs   // captured under mu: the op closures run unlocked
+	seq := rt.lastSeq // registration visibility barrier for shared readers
+
+	key := groupKey{fp: fmt.Sprintf("!unique:%d", id), cfg: cfg}
+	if !rt.cfg.NoSharing {
+		if fp, ok := query.FingerprintQuery(q); ok {
+			key.fp = fp
+		}
+	}
+
+	// Whole-query dedupe: alias onto a live identical group — but only a
+	// cold one. Aliasing is exact only when the host engines hold no
+	// state: a warm engine's buffered window embeds pre-registration
+	// events, so its future matches (and, under negation or closure, its
+	// suppressions) can differ from what a fresh private engine would
+	// produce. regSeq == lastSeq means no event was ingested since the
+	// group registered, i.e. its engines are still empty — the common
+	// register-the-fleet-then-ingest case always qualifies, and identical
+	// queries registered back-to-back mid-stream still collapse.
+	if gs := rt.groups[key]; gs != nil {
+		if gs.regSeq == rt.lastSeq {
+			gs.members++
+			rt.live[id] = &registered{id: id, key: key}
+			rt.sendLocked(func(int) shardMsg {
+				return shardMsg{ts: ts, reg: &regOp{id: id, gid: gs.gid, emit: emit, seq: seq}}
+			})
+			return id, nil
+		}
+		// A live identical group exists but is warm: the new query gets
+		// its own group under a synthetic key, so it never clobbers the
+		// live group's registry entry.
+		key.fp = fmt.Sprintf("!unique:%d", id)
+	}
+
+	// New group. Decide the prefix-sharing role first (without mutating
+	// registry state), then construct engines — and producers if this
+	// registration creates them — so errors leave the registry untouched.
+	prefixKey := ""
+	consumer := false
+	var ps *prefixState
+	var newProds []*core.Subplan
+	var prodInfo *query.Info
+	var prodID int64
+	k := 0
+	if !rt.cfg.NoSharing {
+		if k = core.SharedPrefixLen(q, cfg); k > 0 {
+			if pfp, ok := query.PrefixFingerprint(q, k); ok {
+				prefixKey = pfp
+				ps = rt.prefixes[pfp]
+				consumer = ps != nil && (ps.prods != nil || ps.solos > 0 || ps.consumers > 0)
+			}
+		}
+	}
+	if consumer && ps.prods == nil {
+		pq, err := query.PrefixQuery(q, k)
+		if err != nil {
+			return 0, fmt.Errorf("runtime: register: %w", err)
+		}
+		newProds = make([]*core.Subplan, rt.cfg.Shards)
+		for i := range newProds {
+			sp, err := core.NewSubplan(pq, cfg.UseHash)
+			if err != nil {
+				return 0, fmt.Errorf("runtime: register: %w", err)
+			}
+			newProds[i] = sp
+		}
+		prodInfo = pq.Info
+	}
+
 	engines := make([]*core.Engine, rt.cfg.Shards)
 	sinks := make([]*matchSink, rt.cfg.Shards)
 	for i := range engines {
 		s := &matchSink{}
-		eng, err := core.NewEngine(q, cfg, s.add)
+		var eng *core.Engine
+		var err error
+		if consumer {
+			eng, err = core.NewEngineSharedPrefix(q, cfg, k, s.add)
+		} else {
+			eng, err = core.NewEngine(q, cfg, s.add)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("runtime: register: %w", err)
 		}
 		engines[i], sinks[i] = eng, s
 	}
-	rt.nextID++
-	id := rt.nextID
-	ts := rt.lastTs // captured under mu: the op closure runs unlocked
+
+	// Commit registry state.
+	if prefixKey != "" {
+		if ps == nil {
+			ps = &prefixState{}
+			rt.prefixes[prefixKey] = ps
+		}
+		if consumer {
+			if newProds != nil {
+				rt.nextProdID--
+				ps.prods, ps.prodID, ps.prodInfo = newProds, rt.nextProdID, prodInfo
+			}
+			ps.consumers++
+			prodID = ps.prodID
+			prodInfo = ps.prodInfo
+		} else {
+			ps.solos++
+		}
+	}
+	gs := &groupState{gid: int64(id), members: 1, regSeq: seq, engines: engines, prefixKey: prefixKey, consumer: consumer}
+	rt.groups[key] = gs
+	rt.live[id] = &registered{id: id, key: key}
+
+	prods := newProds
+	routerInfo := q.Info
+	if consumer {
+		// A consumer's prefix admission is fully delegated to the shared
+		// producer (which subscribes with exactly the prefix predicates),
+		// and its shadow leaves would discard prefix deliveries anyway: a
+		// suffix-only subscription keeps prefix-only events from touching
+		// the consumer's engine at all. ClassInfo.Idx values are retained,
+		// so admission masks still align with the full plan's class bits.
+		routerInfo = &query.Info{Classes: q.Info.Classes[k:], Preds: q.Info.Preds}
+	}
 	// Flush buffered events first so the registration point is exact with
 	// respect to Ingest order; the op rides the same send phase.
 	rt.sendLocked(func(i int) shardMsg {
-		return shardMsg{ts: ts, reg: &regOp{id: id, info: q.Info, eng: engines[i], sink: sinks[i], emit: emit}}
+		op := &regOp{id: id, gid: gs.gid, info: routerInfo, eng: engines[i], sink: sinks[i],
+			emit: emit, seq: seq, prodID: prodID}
+		if prods != nil {
+			op.prod, op.prodInfo = prods[i], prodInfo
+		}
+		return shardMsg{ts: ts, reg: op}
 	})
-	rt.live[id] = &registered{id: id, engines: engines}
 	return id, nil
 }
 
-// Unregister removes a live query. Its engines are dropped without a final
-// flush: partial matches pending inside the window are discarded, while
-// matches already emitted are still delivered. Events ingested before
-// Unregister returns are still evaluated by the query.
+// Unregister removes a live query. When it is the last query of its engine
+// group, the group's engines are dropped without a final flush: partial
+// matches pending inside the window are discarded, while matches already
+// emitted are still delivered. Events ingested before Unregister returns
+// are still evaluated by the query.
 func (rt *Runtime) Unregister(id QueryID) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -232,11 +389,18 @@ func (rt *Runtime) Unregister(id QueryID) error {
 	}
 	ts := rt.lastTs // captured under mu: the op closure runs unlocked
 	rt.sendLocked(func(int) shardMsg { return shardMsg{ts: ts, unreg: id} })
-	// Fold the dropped engines' counters into the retired accumulator so
-	// Stats stays cumulative without keeping dead engines (and their
-	// buffered windows) alive. Workers may process a final in-flight
-	// batch after this snapshot; those last few events go uncounted.
-	for _, e := range reg.engines {
+	delete(rt.live, id)
+	gs := rt.groups[reg.key]
+	gs.members--
+	if gs.members > 0 {
+		return nil
+	}
+	// Last member: fold the dropped engines' counters into the retired
+	// accumulator so Stats stays cumulative without keeping dead engines
+	// (and their buffered windows) alive. Workers may process a final
+	// in-flight batch after this snapshot; those last few events go
+	// uncounted.
+	for _, e := range gs.engines {
 		s := e.Snapshot()
 		rt.retired.Matches += s.Matches
 		rt.retired.Rounds += s.Rounds
@@ -244,7 +408,25 @@ func (rt *Runtime) Unregister(id QueryID) error {
 		rt.retired.PeakMemBytes += s.PeakMemBytes
 		rt.retired.Events += s.Events
 	}
-	delete(rt.live, id)
+	delete(rt.groups, reg.key)
+	if gs.prefixKey == "" {
+		return nil
+	}
+	// Prefix-family bookkeeping mirrors the workers': when the last
+	// consumer leaves, the per-shard producers are dropped (worker-side,
+	// by reader refcount); a later family member starts a fresh producer.
+	ps := rt.prefixes[gs.prefixKey]
+	if gs.consumer {
+		ps.consumers--
+		if ps.consumers == 0 {
+			ps.prods, ps.prodID, ps.prodInfo = nil, 0, nil
+		}
+	} else {
+		ps.solos--
+	}
+	if ps.solos == 0 && ps.consumers == 0 {
+		delete(rt.prefixes, gs.prefixKey)
+	}
 	return nil
 }
 
@@ -384,24 +566,38 @@ func (rt *Runtime) Close() error {
 
 // Stats returns aggregated counters; safe to call at any time, including
 // while workers are processing (engine snapshots are atomic, and worker
-// backpressure never holds mu). Engine counters cover live queries plus
-// the totals unregistered queries had accumulated when they were removed.
+// backpressure never holds mu). Engine counters cover live engine groups
+// (each physical engine once, no matter how many queries alias it) plus
+// the totals unregistered groups had accumulated when they were removed.
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
-	engines := make([]*core.Engine, 0, len(rt.live)*rt.cfg.Shards)
-	for _, reg := range rt.live {
-		engines = append(engines, reg.engines...)
+	engines := make([]*core.Engine, 0, len(rt.groups)*rt.cfg.Shards)
+	nConsumers := 0
+	for _, gs := range rt.groups {
+		engines = append(engines, gs.engines...)
+		if gs.consumer {
+			nConsumers++
+		}
 	}
-	nLive := len(rt.live)
+	nProds := 0
+	for _, ps := range rt.prefixes {
+		if ps.prods != nil {
+			nProds++
+		}
+	}
+	nLive, nGroups := len(rt.live), len(rt.groups)
 	agg := rt.retired
 	rt.mu.Unlock()
 	st := Stats{
-		Shards:           rt.cfg.Shards,
-		LiveQueries:      nLive,
-		EventsIngested:   rt.ingested.Load(),
-		MatchesDelivered: rt.delivered.Load(),
-		EngineDeliveries: rt.engineDeliv.Load(),
-		Engine:           agg,
+		Shards:                rt.cfg.Shards,
+		LiveQueries:           nLive,
+		EngineGroups:          nGroups,
+		SharedSubplans:        nProds,
+		SharedPrefixConsumers: nConsumers,
+		EventsIngested:        rt.ingested.Load(),
+		MatchesDelivered:      rt.delivered.Load(),
+		EngineDeliveries:      rt.engineDeliv.Load(),
+		Engine:                agg,
 	}
 	for _, e := range engines {
 		s := e.Snapshot()

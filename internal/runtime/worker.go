@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync/atomic"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/query"
@@ -24,14 +25,28 @@ type shardMsg struct {
 	unreg  QueryID
 }
 
-// regOp hands a pre-built per-shard engine to a worker. info carries the
-// analyzed query for the worker's router index.
+// regOp hands a registration to a worker. Exactly one of two shapes:
+//   - a new engine group: eng/sink/info are set, and — for shared-prefix
+//     consumers — prodID names the producer to attach to, with prod/
+//     prodInfo carrying the producer itself when this registration creates
+//     it;
+//   - an alias onto an existing group (whole-query dedupe): eng is nil and
+//     gid names the group, which is guaranteed live by queue order.
+//
+// seq is the runtime's ingest sequence stamp at registration: the exact
+// visibility barrier for shared partial matches (Subplan.Attach).
 type regOp struct {
 	id   QueryID
+	gid  int64
 	info *query.Info
 	eng  *core.Engine
 	sink *matchSink
 	emit func(*core.Match)
+	seq  uint64
+
+	prodID   int64
+	prod     *core.Subplan
+	prodInfo *query.Info
 }
 
 // matchSink collects one engine's emitted matches between batch
@@ -86,28 +101,181 @@ type mergeMsg struct {
 	final     bool
 }
 
-// shardQuery is one live query on one worker.
-type shardQuery struct {
-	id   QueryID
-	eng  *core.Engine
-	sink *matchSink
-	emit func(*core.Match)
+// engineGroup is one physical engine on this shard together with the
+// queries aliased onto it. Without whole-query dedupe every group has
+// exactly one slot; with it, textually identical queries share the group
+// and each gets the group's matches fanned out at gather time.
+type engineGroup struct {
+	gid    int64
+	eng    *core.Engine
+	sink   *matchSink
+	slots  int
+	reader *buffer.ShareReader // shared-prefix consumer's producer cursor
+	prodID int64               // producer the reader belongs to (0 = none)
+
+	// gather-round scratch: taken holds the engine's matches for the
+	// current round, emitted marks that the first slot already delivered
+	// the originals (later slots clone).
+	round   uint64
+	taken   []*core.Match
+	emitted bool
 }
 
-// worker owns one stream partition: a private core.Engine per live query,
-// fed in shard-local order, synced at every batch boundary. With a router
-// attached (the default), each event batch is classified once and only the
-// engines with at least one admitting class are touched; router == nil is
-// the naive deliver-to-all path (Config.NaiveFanout).
+// querySlot is one registered query, in registration order. Slot order
+// defines the deterministic per-batch match interleaving, exactly as the
+// per-query engine list did before dedupe existed.
+type querySlot struct {
+	id   QueryID
+	emit func(*core.Match)
+	g    *engineGroup
+}
+
+// prodEntry is one live shared-subplan producer on this shard, with the
+// consumer groups whose horizons bound its eviction.
+type prodEntry struct {
+	id      int64
+	prod    *core.Subplan
+	members []*engineGroup
+}
+
+// worker owns one stream partition: a private physical engine per engine
+// group, fed in shard-local order, synced at every batch boundary, plus
+// the shard's shared-subplan producers. With a router attached (the
+// default), each event batch is classified once; producers are fed and
+// assembled before any consuming engine touches the batch, so consumers
+// always observe a producer at or ahead of their own stream position.
+// router == nil is the naive deliver-to-all path (Config.NaiveFanout).
 type worker struct {
 	id        int
 	in        chan shardMsg
 	router    *router.Router
 	delivered *atomic.Uint64 // runtime-wide (engine, event) delivery counter
+
+	slots    []*querySlot
+	groups   []*engineGroup // creation order (deterministic naive fan-out)
+	byGID    map[int64]*engineGroup
+	prods    []*prodEntry
+	byProdID map[int64]*prodEntry
+	round    uint64
+}
+
+// syncProds runs one producer assembly round ahead of the consumers:
+// horizon is each producer's consumers' minimum MatchHorizon BEFORE the
+// batch, batchMinTs the batch's first (smallest) timestamp; together they
+// lower-bound every EAT a consumer round may use while processing the
+// batch (see core.Subplan.Assemble).
+func (w *worker) syncProds(batchMinTs int64) {
+	for _, pe := range w.prods {
+		horizon := int64(math.MaxInt64)
+		for _, g := range pe.members {
+			if h := g.eng.MatchHorizon(); h < horizon {
+				horizon = h
+			}
+		}
+		pe.prod.Assemble(horizon, batchMinTs)
+	}
+}
+
+// flushProds final-assembles every producer so consumer flushes observe
+// all remaining partial matches.
+func (w *worker) flushProds() {
+	for _, pe := range w.prods {
+		horizon := int64(math.MaxInt64)
+		for _, g := range pe.members {
+			if h := g.eng.MatchHorizon(); h < horizon {
+				horizon = h
+			}
+		}
+		pe.prod.Flush(horizon)
+	}
+}
+
+// register applies one regOp at its exact queue position.
+func (w *worker) register(op *regOp) {
+	if op.prod != nil {
+		pe := &prodEntry{id: op.prodID, prod: op.prod}
+		w.prods = append(w.prods, pe)
+		w.byProdID[op.prodID] = pe
+		if w.router != nil {
+			w.router.Add(op.prodID, op.prodInfo, pe)
+		}
+	}
+	var g *engineGroup
+	if op.eng != nil {
+		g = &engineGroup{gid: op.gid, eng: op.eng, sink: op.sink}
+		w.groups = append(w.groups, g)
+		w.byGID[op.gid] = g
+		if op.prodID != 0 {
+			pe := w.byProdID[op.prodID]
+			g.reader = pe.prod.Attach(op.seq)
+			g.prodID = op.prodID
+			op.eng.ConnectSharedPrefix(g.reader)
+			pe.members = append(pe.members, g)
+		}
+		if w.router != nil {
+			w.router.Add(op.gid, op.info, g)
+		}
+	} else {
+		g = w.byGID[op.gid]
+	}
+	g.slots++
+	w.slots = append(w.slots, &querySlot{id: op.id, emit: op.emit, g: g})
+}
+
+// unregister removes a query slot; the group (and any producer it alone
+// kept alive) goes with it when the last slot leaves.
+func (w *worker) unregister(id QueryID) {
+	var g *engineGroup
+	for i, s := range w.slots {
+		if s.id == id {
+			g = s.g
+			w.slots = append(w.slots[:i], w.slots[i+1:]...)
+			break
+		}
+	}
+	if g == nil {
+		return
+	}
+	g.slots--
+	if g.slots > 0 {
+		return
+	}
+	for i, x := range w.groups {
+		if x == g {
+			w.groups = append(w.groups[:i], w.groups[i+1:]...)
+			break
+		}
+	}
+	delete(w.byGID, g.gid)
+	if w.router != nil {
+		w.router.Remove(g.gid)
+	}
+	if g.reader == nil {
+		return
+	}
+	pe := w.byProdID[g.prodID]
+	pe.prod.Detach(g.reader)
+	for i, x := range pe.members {
+		if x == g {
+			pe.members = append(pe.members[:i], pe.members[i+1:]...)
+			break
+		}
+	}
+	if pe.prod.Readers() == 0 {
+		for i, x := range w.prods {
+			if x == pe {
+				w.prods = append(w.prods[:i], w.prods[i+1:]...)
+				break
+			}
+		}
+		delete(w.byProdID, pe.id)
+		if w.router != nil {
+			w.router.Remove(pe.id)
+		}
+	}
 }
 
 func (w *worker) run(out chan<- mergeMsg) {
-	var queries []*shardQuery // registration order
 	streamTime := int64(math.MinInt64 / 2)
 	// shardTime is the largest timestamp of an event THIS shard received —
 	// the clock a naive (deliver-to-all) engine on this shard would have.
@@ -119,29 +287,53 @@ func (w *worker) run(out chan<- mergeMsg) {
 	var emitSeq uint64
 
 	gather := func(flush bool) []pendingMatch {
+		w.round++
 		batch := getMatchBatch()
-		for _, q := range queries {
-			switch {
-			case flush:
-				q.eng.Flush()
-			case w.router != nil:
-				// Routed engines see only admitted events; SyncAt advances
-				// their clock to the shard time and still runs a round when
-				// pending confirmations lag behind it (see core.Engine).
-				q.eng.SyncAt(shardTime)
-			default:
-				q.eng.Sync()
+		for _, s := range w.slots {
+			g := s.g
+			if g.round != w.round {
+				g.round = w.round
+				switch {
+				case flush:
+					g.eng.Flush()
+				case w.router != nil:
+					// Routed engines see only admitted events; SyncAt
+					// advances their clock to the shard time and still runs
+					// a round when pending confirmations lag behind it.
+					g.eng.SyncAt(shardTime)
+				default:
+					g.eng.Sync()
+				}
+				g.taken = g.sink.take()
+				g.emitted = false
 			}
-			taken := q.sink.take()
-			for _, m := range taken {
+			if len(g.taken) == 0 {
+				continue
+			}
+			// The first slot of a group delivers the engine's matches as
+			// is; further slots (dedupe aliases) get private shallow
+			// clones, preserving the exact per-slot emission a private
+			// twin engine would have produced.
+			clone := g.emitted
+			g.emitted = true
+			for _, m := range g.taken {
+				mm := m
+				if clone {
+					mm = cloneMatch(m)
+				}
 				emitSeq++
-				batch = append(batch, pendingMatch{end: m.End, shard: w.id, seq: emitSeq, m: m, emit: q.emit})
+				batch = append(batch, pendingMatch{end: mm.End, shard: w.id, seq: emitSeq, m: mm, emit: s.emit})
 			}
-			q.sink.recycle(taken)
 		}
-		// Each engine emits in end-time order; interleave the per-engine
-		// runs into one sorted batch. seq (assigned in registration order
-		// above) breaks end-time ties, so the order is deterministic.
+		for _, g := range w.groups {
+			if g.round == w.round && g.taken != nil {
+				g.sink.recycle(g.taken)
+				g.taken = nil
+			}
+		}
+		// Each engine emits in end-time order; interleave the per-slot
+		// runs into one sorted batch. seq (assigned in slot order above)
+		// breaks end-time ties, so the order is deterministic.
 		slices.SortFunc(batch, func(a, b pendingMatch) int {
 			if a.end != b.end {
 				if a.end < b.end {
@@ -169,33 +361,39 @@ func (w *worker) run(out chan<- mergeMsg) {
 		}
 		switch {
 		case msg.reg != nil:
-			q := &shardQuery{id: msg.reg.id, eng: msg.reg.eng, sink: msg.reg.sink, emit: msg.reg.emit}
-			queries = append(queries, q)
-			if w.router != nil {
-				w.router.Add(int64(q.id), msg.reg.info, q)
-			}
+			w.register(msg.reg)
 		case msg.unreg != 0:
-			for i, q := range queries {
-				if q.id == msg.unreg {
-					queries = append(queries[:i], queries[i+1:]...)
-					break
-				}
-			}
-			if w.router != nil {
-				w.router.Remove(int64(msg.unreg))
-			}
+			w.unregister(msg.unreg)
 		}
 		if w.router != nil {
 			// One classification pass decides, per event, which engines
-			// receive it and with which admitted-class bits; engines whose
-			// classes all reject an event are never touched.
+			// (and producers) receive it and with which admitted-class
+			// bits; groups whose classes all reject an event are never
+			// touched. Producers drain their deliveries and assemble
+			// first, so consumer rounds see an up-to-date shared prefix.
 			var nDeliv uint64
-			for _, sb := range w.router.Route(msg.events) {
-				q := sb.Payload.(*shardQuery)
+			batches := w.router.Route(msg.events)
+			if len(w.prods) > 0 && len(msg.events) > 0 {
+				for _, sb := range batches {
+					pe, ok := sb.Payload.(*prodEntry)
+					if !ok {
+						continue
+					}
+					for _, d := range sb.Events {
+						pe.prod.ProcessAdmitted(d.Ev, d.Mask)
+					}
+				}
+				w.syncProds(msg.events[0].Ts)
+			}
+			for _, sb := range batches {
+				g, ok := sb.Payload.(*engineGroup)
+				if !ok {
+					continue
+				}
 				for _, d := range sb.Events {
 					// MaskAll deliveries fall back to full filter
 					// evaluation inside ProcessAdmitted.
-					q.eng.ProcessAdmitted(d.Ev, d.Mask)
+					g.eng.ProcessAdmitted(d.Ev, d.Mask)
 				}
 				nDeliv += uint64(len(sb.Events))
 			}
@@ -203,15 +401,23 @@ func (w *worker) run(out chan<- mergeMsg) {
 				w.delivered.Add(nDeliv)
 			}
 		} else {
+			if len(w.prods) > 0 && len(msg.events) > 0 {
+				for _, ev := range msg.events {
+					for _, pe := range w.prods {
+						pe.prod.Process(ev)
+					}
+				}
+				w.syncProds(msg.events[0].Ts)
+			}
 			for _, ev := range msg.events {
-				for _, q := range queries {
-					// The ingest side pre-stamped a globally monotone Seq, so
-					// every engine adopts it and shares the event unmutated —
-					// no per-engine copy on the hot path.
-					q.eng.Process(ev)
+				for _, g := range w.groups {
+					// The ingest side pre-stamped a globally monotone Seq,
+					// so every engine adopts it and shares the event
+					// unmutated — no per-engine copy on the hot path.
+					g.eng.Process(ev)
 				}
 			}
-			if n := uint64(len(msg.events)) * uint64(len(queries)); n > 0 {
+			if n := uint64(len(msg.events)) * uint64(len(w.groups)); n > 0 {
 				w.delivered.Add(n)
 			}
 		}
@@ -226,18 +432,31 @@ func (w *worker) run(out chan<- mergeMsg) {
 		// future event, whose timestamp is at least the flushed stream
 		// time (ingest order is globally non-decreasing).
 		wm := streamTime
-		for _, q := range queries {
-			if h := q.eng.MatchHorizon(); h < wm {
+		for _, g := range w.groups {
+			if h := g.eng.MatchHorizon(); h < wm {
 				wm = h
 			}
 		}
-		out <- mergeMsg{shard: w.id, matches: batch, watermark: wm}
+		out <- mergeMsg{shard: w.id, matches: batch, watermark: wm, final: false}
 	}
 
 	// Close: final flush confirms trailing negations and closures; after
 	// it no shard match is outstanding, so the watermark jumps to +inf.
+	// Producers flush first so consumer flushes observe every partial
+	// match.
+	w.flushProds()
 	batch := gather(true)
 	out <- mergeMsg{shard: w.id, matches: batch, watermark: math.MaxInt64, final: true}
+}
+
+// cloneMatch gives a dedupe alias a private Match header and Fields slice.
+// The constituent events (and closure-group slices) inside Fields are
+// shared with the original — they are immutable stream data every engine
+// already shares.
+func cloneMatch(m *core.Match) *core.Match {
+	c := *m
+	c.Fields = append([]core.Field(nil), m.Fields...)
+	return &c
 }
 
 // matchHeap is a hand-rolled min-heap of pending matches ordered by

@@ -1,0 +1,11 @@
+// Package slicepool provides a generic sync.Pool of slices whose backing
+// arrays AND boxed slice headers both recycle, so steady-state Get/Put
+// pairs perform zero allocations. (A naive sync.Pool.Put(&b) of a local
+// slice heap-allocates a fresh *[]T box on every call — the two-pool
+// scheme threads emptied boxes back instead.)
+//
+// Put clears every element up to capacity before pooling, so a recycled
+// slice never pins the pointers a previous, larger use stored in it.
+// Safe for concurrent use; used for the runtime's ingest batches
+// (event.GetBatch/PutBatch) and worker→merger match batches.
+package slicepool

@@ -1,0 +1,6 @@
+// Package stats maintains the running statistics plan adaptation needs
+// (§5.3): windowed averages of per-class event rates, the selectivity of
+// pushed-down single-class predicates, and sampled selectivities of
+// multi-class predicates, gathered by sampling observers attached to the
+// plan's leaf buffers.
+package stats

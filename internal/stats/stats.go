@@ -1,8 +1,3 @@
-// Package stats maintains the running statistics plan adaptation needs
-// (§5.3): windowed averages of per-class event rates, the selectivity of
-// pushed-down single-class predicates, and sampled selectivities of
-// multi-class predicates, gathered by sampling observers attached to the
-// plan's leaf buffers.
 package stats
 
 import (
@@ -196,7 +191,10 @@ type sampleEnv struct {
 	events map[int]*event.Event
 }
 
+// Event implements expr.Env.
 func (s sampleEnv) Event(class int) *event.Event { return s.events[class] }
+
+// Group implements expr.Env.
 func (s sampleEnv) Group(class int) []*event.Event {
 	if e := s.events[class]; e != nil {
 		return []*event.Event{e}

@@ -1,8 +1,3 @@
-// Package workload generates the evaluation inputs of §6: synthetic stock
-// streams with controlled relative event rates and multi-class predicate
-// selectivities (§6.1), and a synthetic web-access log standing in for the
-// MIT DB-group web server log of §6.5 (see DESIGN.md for the substitution
-// rationale).
 package workload
 
 import (
@@ -117,6 +112,7 @@ type WeblogCounts struct {
 	Total, Publications, Projects, Courses int
 }
 
+// String implements fmt.Stringer.
 func (c WeblogCounts) String() string {
 	return fmt.Sprintf("total=%d publication=%d project=%d courses=%d",
 		c.Total, c.Publications, c.Projects, c.Courses)

@@ -60,6 +60,18 @@ func WithNaiveFanout() RuntimeOption {
 	return func(c *runtime.Config) { c.NaiveFanout = true }
 }
 
+// WithSubplanSharing enables or disables cross-query execution sharing
+// (default enabled): textually identical queries are deduplicated onto one
+// engine with match fan-out, and queries whose canonical class prefixes
+// coincide share one per-shard materialization of the prefix joins instead
+// of each buffering and assembling them privately. Sharing is semantics-
+// preserving — the match stream is byte-identical with it on or off — so
+// WithSubplanSharing(false) exists for differential testing, benchmarking
+// the win, and as an escape hatch.
+func WithSubplanSharing(enabled bool) RuntimeOption {
+	return func(c *runtime.Config) { c.NoSharing = !enabled }
+}
+
 // Runtime executes many registered queries concurrently over one
 // partitioned event stream. Events ingested into the Runtime are sharded
 // by a partition-key attribute across worker goroutines, each owning a

@@ -87,10 +87,13 @@ var (
 	MustSchema = event.MustSchema
 	// NewEvent builds an event for a schema at a timestamp.
 	NewEvent = event.New
-	// Float, Int, Str build attribute values.
+	// Float builds a float attribute value; Int and Str build integer and
+	// string values.
 	Float = event.Float
-	Int   = event.Int
-	Str   = event.Str
+	// Int builds an integer attribute value.
+	Int = event.Int
+	// Str builds a string attribute value.
+	Str = event.Str
 	// NewStock builds an event with the paper's stock schema
 	// (id, name, price, volume).
 	NewStock = event.NewStock
