@@ -18,6 +18,18 @@
 //
 //	zstream-cli -serve -shards 4 -partition-by name \
 //	    -query "PATTERN ..." -query-file more.txt events.csv
+//
+// -explain compiles the queries, prints one zstream-explain/v1 JSON
+// document per query to stdout, and exits without reading events (the
+// event-file argument is optional and ignored):
+//
+//	zstream-cli -query "PATTERN ..." -explain
+//
+// -listen (with -serve) exposes the live ops surface over HTTP while the
+// stream runs: GET /metrics (Prometheus text), GET /explain (query ids),
+// GET /explain/{id} (the EXPLAIN document with live counters):
+//
+//	zstream-cli -serve -listen :9090 -query "PATTERN ..." events.csv
 package main
 
 import (
@@ -25,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -49,13 +63,14 @@ func main() {
 	flag.Var(&queryTexts, "query", "query text (repeatable with -serve)")
 	flag.Var(&queryFiles, "query-file", "file containing a query (repeatable with -serve)")
 	var (
-		explain  = flag.Bool("explain", false, "print the physical plan before running")
+		explain  = flag.Bool("explain", false, "print zstream-explain/v1 JSON per query and exit")
 		adaptive = flag.Bool("adaptive", false, "enable plan adaptation")
 		disorder = flag.Int64("max-disorder", 0, "tolerated timestamp disorder in ticks")
 		quiet    = flag.Bool("quiet", false, "suppress per-match output; print only the summary")
 		serve    = flag.Bool("serve", false, "run all queries on the concurrent sharded runtime")
 		shards   = flag.Int("shards", 0, "worker shards in serve mode (default GOMAXPROCS)")
 		partBy   = flag.String("partition-by", "name", "partition-key attribute in serve mode")
+		listen   = flag.String("listen", "", "with -serve: serve GET /metrics and /explain/{id} on this address")
 	)
 	flag.Parse()
 
@@ -76,6 +91,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zstream-cli: -max-disorder is not supported with -serve (runtime ingest requires in-order timestamps)")
 		os.Exit(2)
 	}
+	if *explain {
+		runExplain(queryTexts, *serve, *shards, *partBy, *adaptive, *disorder)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "zstream-cli: exactly one event file (or '-') required")
 		os.Exit(2)
@@ -90,14 +109,65 @@ func main() {
 	}
 
 	if *serve {
-		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *explain)
+		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *listen)
 		return
 	}
-	runSingle(queryTexts[0], in, *explain, *adaptive, *disorder, *quiet)
+	runSingle(queryTexts[0], in, *adaptive, *disorder, *quiet)
+}
+
+// runExplain compiles every query, prints one zstream-explain/v1 JSON
+// document per query to stdout, and exits. In serve mode the queries are
+// registered on a (never-ingesting) runtime first, so the documents show
+// the runtime's sharing and router decisions; otherwise a standalone
+// engine's document is printed.
+func runExplain(texts []string, serve bool, shards int, partBy string, adaptive bool, disorder int64) {
+	if !serve {
+		q, err := zstream.Compile(texts[0])
+		fail(err)
+		var opts []zstream.Option
+		if adaptive {
+			opts = append(opts, zstream.WithAdaptation())
+		}
+		if disorder > 0 {
+			opts = append(opts, zstream.WithMaxDisorder(disorder))
+		}
+		eng, err := zstream.NewEngine(q, opts...)
+		fail(err)
+		b, err := eng.ExplainDoc().JSON()
+		fail(err)
+		fmt.Println(string(b))
+		return
+	}
+	var ropts []zstream.RuntimeOption
+	if shards > 0 {
+		ropts = append(ropts, zstream.WithShards(shards))
+	}
+	ropts = append(ropts, zstream.WithPartitionBy(partBy))
+	rt := zstream.NewRuntime(ropts...)
+	var ids []zstream.QueryID
+	for _, text := range texts {
+		q, err := zstream.Compile(text)
+		fail(err)
+		var qopts []zstream.Option
+		if adaptive {
+			qopts = append(qopts, zstream.WithAdaptation())
+		}
+		id, err := rt.Register(q, qopts...)
+		fail(err)
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		doc, err := rt.Explain(id)
+		fail(err)
+		b, err := doc.JSON()
+		fail(err)
+		fmt.Println(string(b))
+	}
+	fail(rt.Close())
 }
 
 // runSingle is the original one-query, one-goroutine mode.
-func runSingle(text string, in io.Reader, explain, adaptive bool, disorder int64, quiet bool) {
+func runSingle(text string, in io.Reader, adaptive bool, disorder int64, quiet bool) {
 	q, err := zstream.Compile(text)
 	fail(err)
 
@@ -117,9 +187,6 @@ func runSingle(text string, in io.Reader, explain, adaptive bool, disorder int64
 	}
 	eng, err := zstream.NewEngine(q, opts...)
 	fail(err)
-	if explain {
-		fmt.Fprint(os.Stderr, eng.Explain())
-	}
 
 	n, err := feedCSV(eng, in)
 	fail(err)
@@ -131,7 +198,7 @@ func runSingle(text string, in io.Reader, explain, adaptive bool, disorder int64
 
 // runServe hosts every query on one sharded runtime and prints the merged
 // end-time-ordered match stream, each line tagged with its query index.
-func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive, explain bool) {
+func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive bool, listen string) {
 	var opts []zstream.RuntimeOption
 	if shards > 0 {
 		opts = append(opts, zstream.WithShards(shards))
@@ -154,15 +221,15 @@ func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, ad
 		if adaptive {
 			qopts = append(qopts, zstream.WithAdaptation())
 		}
-		if explain {
-			// Every shard engine of a query starts from the same plan;
-			// render it from a throwaway single engine.
-			eng, err := zstream.NewEngine(q)
-			fail(err)
-			fmt.Fprintf(os.Stderr, "q%d plan:\n%s", i, eng.Explain())
-		}
 		_, err = rt.Register(q, qopts...)
 		fail(err)
+	}
+
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "observability: http://%s/metrics http://%s/explain/{id}\n", ln.Addr(), ln.Addr())
+		go func() { _ = http.Serve(ln, zstream.NewObservabilityHandler(rt)) }()
 	}
 
 	n, err := feedCSVFunc(in, rt.Ingest)

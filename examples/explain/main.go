@@ -1,0 +1,172 @@
+// Explain: the observability plane in action. Registers three stock
+// monitoring queries on the sharded runtime — a hash-dispatched spike
+// detector plus a two-query shared-prefix family, partition-local
+// variants of the stockmonitor example's patterns (the paper's Q1-Q3
+// correlate across symbols, which a name-partitioned runtime cannot do;
+// examples/stockmonitor runs them verbatim on standalone engines) — and
+// walks the ops surface:
+//
+//  1. the planned EXPLAIN before any event arrives (cost-model estimates,
+//     chosen plan shape, router subscription);
+//  2. a live EXPLAIN after ingest, where the same document carries real
+//     operator counters and both selectivity views (the router's
+//     unconditioned admission rate vs the leaf's conditioned pass rate);
+//  3. the consumer's sharing section, naming the producer subplan its
+//     prefix work was delegated to;
+//  4. a metrics snapshot diff across the second half of the stream, the
+//     same numbers GET /metrics exposes in Prometheus form.
+//
+// The equivalent CLI invocations are:
+//
+//	zstream-cli -serve -query "..." -explain            # step 1
+//	zstream-cli -serve -query "..." -listen :9090 ...   # steps 2-4, live
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zstream "repro"
+	"repro/internal/workload"
+)
+
+const (
+	nEvents = 40_000
+	symbols = 4
+)
+
+func main() {
+	rt := zstream.NewRuntime(
+		zstream.WithShards(4),
+		zstream.WithPartitionBy("name"),
+	)
+
+	register := func(src string) zstream.QueryID {
+		q, err := zstream.Compile(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := rt.Register(q, zstream.OnMatch(func(*zstream.Match) {}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+
+	// A spike detector on one symbol: the equality atoms are served by the
+	// router's hash dispatch, the price bounds become leaf filters.
+	spike := register(`
+		PATTERN Low; High
+		WHERE Low.name = 'S00' AND Low.price < 20
+		  AND High.name = 'S00' AND High.price > 90
+		WITHIN 50 units
+		RETURN Low, High`)
+
+	// A shared-prefix family: both queries agree on the Dip1;Dip2 prefix
+	// and differ only in the recovery threshold, so the runtime builds the
+	// dip join once and the second registrant reads the shared producer.
+	dip := func(threshold float64) string {
+		return fmt.Sprintf(`
+		PATTERN Dip1; Dip2; Rec
+		WHERE Dip1.name = 'S01' AND Dip1.price > 45
+		  AND Dip2.name = 'S01' AND Dip2.price < Dip1.price - 40
+		  AND Rec.name = 'S01' AND Rec.price > %g
+		WITHIN 100 units
+		RETURN Dip1, Dip2, Rec`, threshold)
+	}
+	register(dip(90))
+	consumer := register(dip(95))
+
+	// --- 1. the planned view: EXPLAIN before any event ------------------
+	doc, err := rt.Explain(spike)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== EXPLAIN before ingest (planned view) ===")
+	fmt.Printf("strategy=%s use_hash=%v  cost: source=%s est_card=%.2f est_cost=%.0f\n",
+		doc.Strategy.Strategy, doc.Strategy.UseHash,
+		doc.Cost.Source, doc.Cost.TotalCard, doc.Cost.TotalCost)
+	for _, cc := range doc.Cost.Classes {
+		fmt.Printf("  class %-4s rate=%.2f single_sel=%.2f card=%.1f\n",
+			cc.Class, cc.Rate, cc.SingleSel, cc.Card)
+	}
+	fmt.Print(doc.Text)
+
+	// --- ingest, with a metrics snapshot at the halfway mark -------------
+	names := make([]string, symbols)
+	weights := make([]float64, symbols)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	events := workload.GenStocks(workload.StockSpec{
+		N: nEvents, Seed: 7, Names: names, Weights: weights,
+	})
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if err := rt.Ingest(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mid := rt.Metrics()
+	for _, ev := range events[half:] {
+		if err := rt.Ingest(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	end := rt.Metrics()
+
+	// --- 2. the live view: same document, real counters ------------------
+	doc, err = rt.Explain(spike)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== EXPLAIN after ingest (live counters) ===")
+	fmt.Printf("router mode=%s events_routed=%d\n", doc.Router.Mode, doc.Router.Events)
+	for _, rc := range doc.Router.Classes {
+		fmt.Printf("  class %-4s admitted=%-6d admission_rate=%.3f (unconditioned)  "+
+			"leaf %d/%d pass_rate=%.3f (conditioned)\n",
+			rc.Class, rc.Admitted, rc.AdmissionRate,
+			rc.LeafPassed, rc.LeafSeen, rc.PassRate)
+	}
+	fmt.Print(doc.Text)
+
+	// --- 3. the sharing section of a shared-prefix consumer --------------
+	cdoc, err := rt.Explain(consumer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := cdoc.Sharing
+	fmt.Println("\n=== sharing section of the second dip query ===")
+	fmt.Printf("group=%d members=%d shared_prefix_len=%d producer=%d readers=%d\n",
+		sh.GroupID, sh.Members, sh.PrefixLen, sh.ProducerID, sh.ProducerReaders)
+	if sh.ProducerTree != nil {
+		fmt.Printf("producer emitted %d prefix records for %d readers\n",
+			sh.ProducerTree.Out, sh.ProducerReaders)
+	}
+
+	// --- 4. metrics snapshot diff over the second half -------------------
+	fmt.Println("\n=== metrics diff (halfway -> end of stream) ===")
+	fmt.Printf("events ingested:    %6d -> %d\n",
+		mid.Stats.EventsIngested, end.Stats.EventsIngested)
+	fmt.Printf("engine deliveries:  %6d -> %d  (router fan-out %.2f of naive)\n",
+		mid.Stats.EngineDeliveries, end.Stats.EngineDeliveries,
+		float64(end.Stats.EngineDeliveries)/float64(end.Stats.EventsIngested*uint64(end.Stats.EngineGroups)))
+	fmt.Printf("router residuals:   %6d -> %d\n",
+		mid.Router.ResidualEvals, end.Router.ResidualEvals)
+	for i, q := range end.Queries {
+		fmt.Printf("query %d: records_in %6d -> %-6d records_out %5d -> %-5d matches %d -> %d\n",
+			q.ID, mid.Queries[i].Operators.In, q.Operators.In,
+			mid.Queries[i].Operators.Out, q.Operators.Out,
+			mid.Queries[i].Engine.Matches, q.Engine.Matches)
+	}
+	for i, p := range end.Producers {
+		fmt.Printf("producer %d: events %6d -> %-6d records_out %5d -> %d\n",
+			p.ID, mid.Producers[i].Events, p.Events,
+			mid.Producers[i].Operators.Out, p.Operators.Out)
+	}
+
+	if err := rt.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

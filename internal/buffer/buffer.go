@@ -155,6 +155,10 @@ type Buf struct {
 	// liveHW tracks the high-water mark of live record count for the
 	// deterministic peak-memory metric.
 	liveHW int
+	// evicted accumulates the records removed by EAT eviction since
+	// creation (observability counter; consumed-prefix drops are routine
+	// consumption and are not counted).
+	evicted uint64
 	// pool, if non-nil, receives records removed from the buffer
 	// (eviction, consumed-prefix drops, Clear) for reuse. See Pool for the
 	// ownership contract.
@@ -305,9 +309,14 @@ func (b *Buf) EvictBeforeLimit(eat int64, limit int) int {
 	if b.cursor < 0 {
 		b.cursor = 0
 	}
+	b.evicted += uint64(n)
 	b.maybeCompact()
 	return n
 }
+
+// Evicted returns the total number of records removed by EAT eviction
+// since creation.
+func (b *Buf) Evicted() uint64 { return b.evicted }
 
 // DropConsumedPrefix removes records before the cursor (static mode: a
 // consumed right buffer really is cleared, keeping memory bounded exactly

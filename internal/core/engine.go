@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/cost"
 	"repro/internal/event"
+	"repro/internal/explain"
 	"repro/internal/expr"
 	"repro/internal/operator"
 	"repro/internal/optimizer"
@@ -149,6 +150,10 @@ type Engine struct {
 	// src, when non-nil, is the shared-source node standing in for a
 	// prefix subtree materialized by a shared Subplan (NewEngineSharedPrefix).
 	src *operator.Source
+
+	// lastSwitch records the most recent adaptive re-plan as a
+	// before/after fingerprint pair (single-writer, like plan).
+	lastSwitch *explain.Switch
 
 	recTap func(*buffer.Record)
 }
@@ -624,6 +629,7 @@ func (e *Engine) switchPlan(r *optimizer.Result) {
 	if err != nil {
 		return
 	}
+	e.lastSwitch = &explain.Switch{From: e.plan.Fingerprint(), To: newPlan.Fingerprint()}
 	// Recycle the old plan's intermediate state (its records are uniquely
 	// owned, leaves are shared with the new plan and skipped), then hand
 	// the pool to the new plan's buffers.

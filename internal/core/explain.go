@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/explain"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// ExplainInfo is the engine-local slice of a zstream-explain/v1 document:
+// everything one engine knows about itself. The concurrent runtime merges
+// one ExplainInfo per shard into the full document; a standalone engine
+// wraps a single one.
+type ExplainInfo struct {
+	// Strategy is the configured planning strategy.
+	Strategy explain.Strategy
+	// Cost is the cost-model view of the current plan (nil only when the
+	// query cannot be costed).
+	Cost *explain.Cost
+	// Fingerprint identifies the current plan's physical structure.
+	Fingerprint string
+	// PlannedCost is the optimizer's cost estimate for the current plan
+	// (0 for fixed strategies, which never run the search).
+	PlannedCost float64
+	// Switches counts adaptive re-plans since creation.
+	Switches uint64
+	// LastSwitch records the latest re-plan (nil before the first).
+	LastSwitch *explain.Switch
+	// Tree is the operator tree with live counters.
+	Tree *explain.Node
+	// Leaves holds the per-class leaf counters (In = events the leaf saw
+	// post-router, Out = events that passed its pushed-down filter),
+	// indexed by class: the conditioned selectivity view.
+	Leaves []operator.Counters
+}
+
+// BuildExplain assembles the engine's ExplainInfo. Like every plan-reading
+// method it must run on the engine's processing goroutine (the runtime
+// routes EXPLAIN snapshots through the shard worker's op queue).
+func (e *Engine) BuildExplain() ExplainInfo {
+	info := ExplainInfo{
+		Strategy: explain.Strategy{
+			Strategy:  strategyName(e.cfg.Strategy),
+			Adaptive:  e.cfg.Adaptive,
+			UseHash:   e.cfg.UseHash,
+			Negation:  negationName(e.plan.Opts.Negation),
+			BatchSize: e.cfg.BatchSize,
+		},
+		Fingerprint: e.plan.Fingerprint(),
+		PlannedCost: e.planCost,
+		Switches:    e.switches.Load(),
+		LastSwitch:  e.lastSwitch,
+		Tree:        explain.Tree(e.plan.Root),
+	}
+	for _, l := range e.plan.Leaves {
+		info.Leaves = append(info.Leaves, l.Counters())
+	}
+	st, source := e.planStats, "collected"
+	if st == nil {
+		st, source = e.cfg.Stats, "configured"
+	}
+	if st == nil {
+		st, source = cost.UniformStats(e.q.Info, e.q.Within, 1), "uniform-default"
+	}
+	// Shared-prefix consumer plans have no shape (the prefix subtree lives
+	// in the producer), so the per-node breakdown is skipped: the prefix
+	// cost belongs to the producer's document section.
+	var tree *cost.NodeEstimate
+	if e.plan.Shape != nil {
+		tree = cost.NewEstimator(e.q.Info, st, e.cfg.UseHash).
+			ShapeBreakdown(e.plan.Units, e.plan.Shape)
+	}
+	info.Cost = explain.CostSection(e.q.Info, st, source, tree)
+	return info
+}
+
+// Query returns the compiled query the engine runs.
+func (e *Engine) Query() *query.Query { return e.q }
+
+// OperatorTotals sums the current plan's live operator counters. Like
+// BuildExplain it must run on the engine's processing goroutine.
+func (e *Engine) OperatorTotals() explain.Totals { return explain.TreeTotals(e.plan.Root) }
+
+// IsAdaptive reports whether plan adaptation (§5.3) is enabled.
+func (e *Engine) IsAdaptive() bool { return e.cfg.Adaptive }
+
+// NoteRouterRejects credits n router-rejected events at stream time ts to
+// every class's sampling statistics. A routed engine only sees admitted
+// events; an event the router delivered to this engine for any class is
+// observed by every leaf (ProcessAdmitted reports non-admitted classes as
+// rejects), but an event admitted for no class is never delivered at all —
+// those are exactly the n events credited here, and since no class
+// admitted them, every class's filter rejected them. With this feed the
+// collector's rates and selectivities match what a deliver-to-all engine
+// would have measured, keeping adaptive re-planning honest (the deferred
+// unconditioned-rates item from the router PR).
+func (e *Engine) NoteRouterRejects(n uint64, ts int64) {
+	if e.collector == nil || n == 0 {
+		return
+	}
+	for cls := range e.plan.Leaves {
+		e.collector.ObserveRejects(cls, ts, n)
+	}
+}
+
+// Plan exposes the producer's physical plan (EXPLAIN).
+func (s *Subplan) Plan() *plan.Plan { return s.plan }
+
+// strategyName renders a Strategy for EXPLAIN output.
+func strategyName(s Strategy) string {
+	switch s {
+	case StrategyLeftDeep:
+		return "left-deep"
+	case StrategyRightDeep:
+		return "right-deep"
+	case StrategyFixed:
+		return "fixed"
+	default:
+		return "optimal"
+	}
+}
+
+// negationName renders a NegPlacement for EXPLAIN output.
+func negationName(n plan.NegPlacement) string {
+	switch n {
+	case plan.NegPushdown:
+		return "pushdown"
+	case plan.NegTop:
+		return "top"
+	default:
+		return "auto"
+	}
+}

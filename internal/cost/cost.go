@@ -2,6 +2,7 @@ package cost
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/plan"
@@ -232,6 +233,45 @@ func (e *Estimator) ShapeEstimate(units []*plan.Unit, s *plan.Shape) Estimate {
 		surv = e.DefaultNegSurvival()
 	}
 	return e.SeqJoin(l, r, e.classesOf(units, s.L), e.classesOf(units, s.R), surv)
+}
+
+// NodeEstimate is the per-operator cost breakdown of one shape node, for
+// EXPLAIN output: leaf-position nodes describe planning units, internal
+// nodes the SEQ joins combining them. Cost is cumulative (children
+// included), so the root's estimate equals ShapeEstimate's result.
+type NodeEstimate struct {
+	// Desc names the node: the unit's string form for leaves, "seq" for
+	// internal joins.
+	Desc string
+	// Classes are the event classes the node's output covers, sorted.
+	Classes []int
+	// Est is the node's costed summary per Formula (1).
+	Est Estimate
+	// Children are the node's sub-plans, left to right (empty for units).
+	Children []*NodeEstimate
+}
+
+// ShapeBreakdown renders the per-node estimates of a full shape, mirroring
+// ShapeEstimate's recursion node by node.
+func (e *Estimator) ShapeBreakdown(units []*plan.Unit, s *plan.Shape) *NodeEstimate {
+	if s.Unit >= 0 {
+		u := units[s.Unit]
+		cls := append([]int{}, u.Classes...)
+		sort.Ints(cls)
+		return &NodeEstimate{Desc: u.String(), Classes: cls, Est: e.UnitEstimate(u)}
+	}
+	l := e.ShapeBreakdown(units, s.L)
+	r := e.ShapeBreakdown(units, s.R)
+	surv := 1.0
+	if u := units[s.R.Leaves()[0]]; u.Kind == plan.UnitNSeqLeft {
+		surv = e.DefaultNegSurvival()
+	}
+	lc, rc := e.classesOf(units, s.L), e.classesOf(units, s.R)
+	est := e.SeqJoin(l.Est, r.Est, lc, rc, surv)
+	cls := append(append([]int{}, lc...), rc...)
+	sort.Ints(cls)
+	return &NodeEstimate{Desc: "seq", Classes: cls, Est: est,
+		Children: []*NodeEstimate{l, r}}
 }
 
 func (e *Estimator) classesOf(units []*plan.Unit, s *plan.Shape) []int {

@@ -16,6 +16,7 @@ import (
 // before the cursors still combine with future events from the other side.
 // Stale records are reclaimed by EAT eviction only.
 type Conj struct {
+	descHolder
 	left, right Node
 	out         *buffer.Buf
 	checks      combineChecks
@@ -41,6 +42,9 @@ func (c *Conj) Label() string { return "conj" }
 
 // Stats returns candidate pairs tried and records emitted.
 func (c *Conj) Stats() (pairs, emitted uint64) { return c.pairsTried, c.emitted }
+
+// Counters returns pairs tried and records emitted.
+func (c *Conj) Counters() Counters { return Counters{In: c.pairsTried, Out: c.emitted} }
 
 // Reset clears the output buffer.
 func (c *Conj) Reset() { c.out.Clear() }

@@ -10,6 +10,7 @@ import (
 // requires each record to live in exactly one buffer, so the slot vector
 // is copied (events themselves are never duplicated).
 type Disj struct {
+	descHolder
 	children []Node
 	out      *buffer.Buf
 	drop     bool
@@ -33,6 +34,10 @@ func (d *Disj) Label() string { return "disj" }
 
 // Stats returns the number of records emitted.
 func (d *Disj) Stats() (emitted uint64) { return d.emitted }
+
+// Counters returns records merged; disjunction copies every input record,
+// so In and Out coincide.
+func (d *Disj) Counters() Counters { return Counters{In: d.emitted, Out: d.emitted} }
 
 // Reset clears the output buffer.
 func (d *Disj) Reset() { d.out.Clear() }

@@ -21,6 +21,7 @@ import (
 // the pattern (§4.4.5). A trailing closure (nil end) is confirmed when its
 // window expires, like a trailing negation.
 type KSeq struct {
+	descHolder
 	start Node // may be nil
 	end   Node // may be nil
 	mid   *buffer.Buf
@@ -91,6 +92,9 @@ func (k *KSeq) Label() string {
 
 // Stats returns middle events scanned and records emitted.
 func (k *KSeq) Stats() (scanned, emitted uint64) { return k.scanned, k.emitted }
+
+// Counters returns middle events scanned and records emitted.
+func (k *KSeq) Counters() Counters { return Counters{In: k.scanned, Out: k.emitted} }
 
 // Reset clears the output buffer.
 func (k *KSeq) Reset() { k.out.Clear() }

@@ -16,10 +16,19 @@ import (
 // Leaves are owned by the engine, not by a plan: in adaptive mode their
 // contents survive plan switches (§5.3).
 type Leaf struct {
+	descHolder
 	class    int
 	nclasses int
 	filter   expr.Predicate // nil accepts everything
 	out      *buffer.Buf
+
+	// seen / passed count arrivals presented to the leaf and arrivals
+	// that survived the pushed-down filter: the conditioned (post-router)
+	// view of the class, as opposed to the router's unconditioned
+	// admission counts. Plain uint64s: the shard worker is the only
+	// writer, and snapshots ride its op queue.
+	seen   uint64
+	passed uint64
 
 	// shadow leaves stand in for classes whose buffering is delegated to a
 	// shared subplan: they evaluate the filter and report to the observer
@@ -70,6 +79,10 @@ func (l *Leaf) Insert(e *event.Event) bool {
 		passed = l.filter(&l.env)
 		l.env.E = nil
 	}
+	l.seen++
+	if passed {
+		l.passed++
+	}
 	if l.onArrive != nil {
 		l.onArrive(e, passed)
 	}
@@ -88,6 +101,8 @@ func (l *Leaf) Insert(e *event.Event) bool {
 // with the exact same predicate set. The observer still records a pass so
 // adaptive statistics stay consistent with Insert.
 func (l *Leaf) InsertAdmitted(e *event.Event) {
+	l.seen++
+	l.passed++
 	if l.onArrive != nil {
 		l.onArrive(e, true)
 	}
@@ -100,10 +115,17 @@ func (l *Leaf) InsertAdmitted(e *event.Event) {
 // Observe reports a filtered-out arrival to the observer without touching
 // the buffer (the router's reject decision, kept visible to sampling).
 func (l *Leaf) Observe(e *event.Event, passed bool) {
+	l.seen++
+	if passed {
+		l.passed++
+	}
 	if l.onArrive != nil {
 		l.onArrive(e, passed)
 	}
 }
+
+// Counters returns arrivals seen and arrivals passing the filter.
+func (l *Leaf) Counters() Counters { return Counters{In: l.seen, Out: l.passed} }
 
 // Out returns the leaf buffer.
 func (l *Leaf) Out() *buffer.Buf { return l.out }

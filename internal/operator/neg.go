@@ -26,6 +26,7 @@ func (s *NegSpec) Trailing() bool { return len(s.Next) == 0 }
 // discarded when a negation event interleaves it. This is the baseline the
 // paper compares NSEQ push-down against (Figures 15/16).
 type NegFilter struct {
+	descHolder
 	child  Node
 	out    *buffer.Buf
 	specs  []NegSpec
@@ -56,6 +57,9 @@ func (n *NegFilter) Label() string { return fmt.Sprintf("neg-top(%d)", len(n.spe
 
 // Stats returns negation events scanned and records emitted.
 func (n *NegFilter) Stats() (scanned, emitted uint64) { return n.scanned, n.emitted }
+
+// Counters returns negation events scanned and records emitted.
+func (n *NegFilter) Counters() Counters { return Counters{In: n.scanned, Out: n.emitted} }
 
 // Reset clears the output buffer.
 func (n *NegFilter) Reset() { n.out.Clear() }

@@ -23,6 +23,55 @@ type Node interface {
 	Children() []Node
 	// Label returns a short operator name for EXPLAIN output.
 	Label() string
+	// Describe returns the description plan construction attached to the
+	// node (classes bound, predicates placed here, operator detail).
+	Describe() Desc
+	// Counters returns a snapshot of the node's live work counters. The
+	// counters are plain shard-local integers maintained by the single
+	// goroutine that drives Assemble; snapshots must be taken from that
+	// same goroutine (the runtime routes snapshot requests through the
+	// worker's op queue for exactly this reason).
+	Counters() Counters
+}
+
+// Desc is the static description plan construction attaches to a node for
+// EXPLAIN output.
+type Desc struct {
+	// Classes are the event-class indexes the node's output binds.
+	Classes []int
+	// Preds are the source texts of the value predicates evaluated at
+	// this node (pushed-down filters for leaves, join predicates for
+	// combining operators).
+	Preds []string
+	// Detail is operator-specific extra information, e.g. the equality
+	// condition a hash join probes with.
+	Detail string
+}
+
+// Counters is a snapshot of one node's work counters. In counts the
+// candidates the node examined (pairs tried for joins, events scanned for
+// negation and closure, arrivals for leaves); Out counts the records the
+// node appended to its output buffer (passed arrivals for leaves).
+type Counters struct {
+	In  uint64
+	Out uint64
+}
+
+// descHolder is the embeddable Desc carrier every concrete operator embeds.
+type descHolder struct{ d Desc }
+
+// SetDesc attaches the plan-construction description.
+func (h *descHolder) SetDesc(d Desc) { h.d = d }
+
+// Describe returns the attached description.
+func (h *descHolder) Describe() Desc { return h.d }
+
+// SetDesc attaches d to n. All concrete operators support descriptions;
+// the helper exists because Node itself is deliberately read-only.
+func SetDesc(n Node, d Desc) {
+	if s, ok := n.(interface{ SetDesc(Desc) }); ok {
+		s.SetDesc(d)
+	}
 }
 
 // PairGuard is a record-level predicate evaluated on a candidate (left,

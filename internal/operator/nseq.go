@@ -27,6 +27,7 @@ import (
 // negating b arrives. Emission stays in end-time order because records are
 // confirmed strictly in buffer order.
 type NSeq struct {
+	descHolder
 	other   Node
 	negBufs []*buffer.Buf
 	negCls  []int
@@ -84,6 +85,9 @@ func (n *NSeq) Label() string {
 
 // Stats returns negation events scanned and records emitted.
 func (n *NSeq) Stats() (scanned, emitted uint64) { return n.scanned, n.emitted }
+
+// Counters returns negation events scanned and records emitted.
+func (n *NSeq) Counters() Counters { return Counters{In: n.scanned, Out: n.emitted} }
 
 // Reset clears the output buffer.
 func (n *NSeq) Reset() { n.out.Clear() }

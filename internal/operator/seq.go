@@ -17,6 +17,7 @@ import (
 // When an equality predicate joins the two sides, Seq probes a hash index
 // on the left buffer instead of scanning it (§5.2.2).
 type Seq struct {
+	descHolder
 	left, right Node
 	out         *buffer.Buf
 	checks      combineChecks
@@ -73,6 +74,9 @@ func (s *Seq) Label() string {
 // Stats returns the number of candidate pairs tried and records emitted
 // since creation (used to validate the cost model).
 func (s *Seq) Stats() (pairs, emitted uint64) { return s.pairsTried, s.emitted }
+
+// Counters returns pairs tried and records emitted.
+func (s *Seq) Counters() Counters { return Counters{In: s.pairsTried, Out: s.emitted} }
 
 // Reset clears the output buffer; child state is reset by the plan.
 func (s *Seq) Reset() { s.out.Clear() }

@@ -16,8 +16,11 @@ import (
 // shared prefix is inert until its runtime wires the hook at the query's
 // exact registration position in the stream.
 type Source struct {
+	descHolder
 	out  *buffer.Buf
 	fill func(out *buffer.Buf)
+
+	pulled uint64
 }
 
 // NewSource creates an unwired source node.
@@ -33,9 +36,15 @@ func (s *Source) Out() *buffer.Buf { return s.out }
 // Assemble pulls new shared records into the output buffer.
 func (s *Source) Assemble(eat, now int64) {
 	if s.fill != nil {
+		before := s.out.Len()
 		s.fill(s.out)
+		s.pulled += uint64(s.out.Len() - before)
 	}
 }
+
+// Counters returns the number of shared records pulled from the producer;
+// the source copies every record it pulls, so In and Out coincide.
+func (s *Source) Counters() Counters { return Counters{In: s.pulled, Out: s.pulled} }
 
 // Reset clears the pulled records (plan switching; the producer side is
 // unaffected, and the fill cursor does not rewind).

@@ -78,22 +78,9 @@ func Build(q *query.Query, shape *Shape, opts Options, leaves []*operator.Leaf) 
 	}
 
 	// negation-on-top filter, if any terms were deferred
-	if len(topNegs) > 0 {
-		specs := make([]operator.NegSpec, 0, len(topNegs))
-		for _, tn := range topNegs {
-			pred, err := b.negPred(tn.NegClasses)
-			if err != nil {
-				return nil, err
-			}
-			bufs := make([]*buffer.Buf, len(tn.NegClasses))
-			for i, c := range tn.NegClasses {
-				bufs[i] = b.leaves[c].Out()
-			}
-			specs = append(specs, operator.NegSpec{
-				NegBufs: bufs, Pred: pred, Prev: tn.Prev, Next: tn.Next,
-			})
-		}
-		root = operator.NewNegFilter(root, specs, q.Within)
+	root, err = b.negFilterOn(root, topNegs)
+	if err != nil {
+		return nil, err
 	}
 
 	// unplaced multi-class predicates are a programming error in the
@@ -166,6 +153,8 @@ func BuildSharedPrefix(q *query.Query, opts Options, prefixLen int, src operator
 		}
 	}
 
+	operator.SetDesc(src, operator.Desc{Classes: prefixCls,
+		Detail: fmt.Sprintf("prefix=%d", prefixLen)})
 	node := src
 	built := append([]int{}, prefixCls...)
 	for ui := prefixLen; ui < len(units); ui++ {
@@ -176,7 +165,7 @@ func BuildSharedPrefix(q *query.Query, opts Options, prefixLen int, src operator
 		}
 		cover := append(append([]int{}, built...), u.Classes...)
 		sort.Ints(cover)
-		preds, hashJoin, err := b.nodePreds(cover, built, u.Classes, true)
+		preds, hashJoin, predTexts, hashCond, err := b.nodePreds(cover, built, u.Classes, true)
 		if err != nil {
 			return nil, err
 		}
@@ -189,28 +178,14 @@ func BuildSharedPrefix(q *query.Query, opts Options, prefixLen int, src operator
 		if hashJoin != nil {
 			seq.UseHash(*hashJoin)
 		}
+		seq.SetDesc(operator.Desc{Classes: cover, Preds: predTexts, Detail: hashCond})
 		node = seq
 		built = append(built, u.Classes...)
 		sort.Ints(built)
 	}
-	var root operator.Node = node
-
-	if len(topNegs) > 0 {
-		specs := make([]operator.NegSpec, 0, len(topNegs))
-		for _, tn := range topNegs {
-			pred, err := b.negPred(tn.NegClasses)
-			if err != nil {
-				return nil, err
-			}
-			bufs := make([]*buffer.Buf, len(tn.NegClasses))
-			for i, c := range tn.NegClasses {
-				bufs[i] = b.leaves[c].Out()
-			}
-			specs = append(specs, operator.NegSpec{
-				NegBufs: bufs, Pred: pred, Prev: tn.Prev, Next: tn.Next,
-			})
-		}
-		root = operator.NewNegFilter(root, specs, q.Within)
+	root, err := b.negFilterOn(node, topNegs)
+	if err != nil {
+		return nil, err
 	}
 
 	for i, placed := range b.predPlaced {
@@ -261,6 +236,34 @@ func (p *Plan) EmitOK(r *buffer.Record) bool {
 		}
 	}
 	return true
+}
+
+// Fingerprint returns a deterministic identity string for the plan's
+// physical structure: the nested operator labels (which encode leaf
+// classes, hash mode, closure counts and negation placement). Two plans
+// with equal fingerprints have structurally identical trees, so their
+// per-node counters may be summed position-by-position; a plan switch is
+// observable as a fingerprint change between consecutive snapshots.
+func (p *Plan) Fingerprint() string {
+	var sb strings.Builder
+	var walk func(n operator.Node)
+	walk = func(n operator.Node) {
+		sb.WriteString(n.Label())
+		ch := n.Children()
+		if len(ch) == 0 {
+			return
+		}
+		sb.WriteByte('(')
+		for i, c := range ch {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			walk(c)
+		}
+		sb.WriteByte(')')
+	}
+	walk(p.Root)
+	return sb.String()
 }
 
 // Explain renders the operator tree, one node per line.
@@ -317,9 +320,11 @@ func (b *builder) makeLeaves() error {
 	b.leaves = make([]*operator.Leaf, n)
 	for c := 0; c < n; c++ {
 		var cmps []*query.Cmp
+		var texts []string
 		for _, pi := range b.in.Preds {
 			if pi.Single() && pi.Classes[0] == c && !pi.HasAgg {
 				cmps = append(cmps, pi.Cmp)
+				texts = append(texts, pi.Cmp.String())
 			}
 		}
 		filter, err := expr.CompilePreds(cmps)
@@ -329,11 +334,14 @@ func (b *builder) makeLeaves() error {
 		if len(cmps) == 0 {
 			filter = nil
 		}
+		detail := b.in.Classes[c].Alias
 		if c < b.shadowPrefix {
 			b.leaves[c] = operator.NewShadowLeaf(c, n, filter)
+			detail += " (shadow)"
 		} else {
 			b.leaves[c] = operator.NewLeaf(c, n, filter)
 		}
+		b.leaves[c].SetDesc(operator.Desc{Classes: []int{c}, Preds: texts, Detail: detail})
 	}
 	return nil
 }
@@ -372,13 +380,14 @@ func (b *builder) isNegPred(pi *query.PredInfo) bool {
 }
 
 // negPred compiles the conjunction of multi-class predicates touching the
-// given negation classes.
-func (b *builder) negPred(negClasses []int) (expr.Predicate, error) {
+// given negation classes; texts are their source forms for EXPLAIN.
+func (b *builder) negPred(negClasses []int) (expr.Predicate, []string, error) {
 	negSet := map[int]bool{}
 	for _, c := range negClasses {
 		negSet[c] = true
 	}
 	var cmps []*query.Cmp
+	var texts []string
 	for _, pi := range b.in.Preds {
 		if pi.Single() || pi.HasAgg {
 			continue
@@ -386,14 +395,49 @@ func (b *builder) negPred(negClasses []int) (expr.Predicate, error) {
 		for _, c := range pi.Classes {
 			if negSet[c] {
 				cmps = append(cmps, pi.Cmp)
+				texts = append(texts, pi.Cmp.String())
 				break
 			}
 		}
 	}
 	if len(cmps) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	return expr.CompilePreds(cmps)
+	p, err := expr.CompilePreds(cmps)
+	return p, texts, err
+}
+
+// negFilterOn wraps root in the negation-on-top filter for the deferred
+// negation terms (a no-op when none were deferred), attaching the EXPLAIN
+// description.
+func (b *builder) negFilterOn(root operator.Node, topNegs []TopNeg) (operator.Node, error) {
+	if len(topNegs) == 0 {
+		return root, nil
+	}
+	specs := make([]operator.NegSpec, 0, len(topNegs))
+	var negCls []int
+	var texts []string
+	for _, tn := range topNegs {
+		pred, predTexts, err := b.negPred(tn.NegClasses)
+		if err != nil {
+			return nil, err
+		}
+		texts = append(texts, predTexts...)
+		bufs := make([]*buffer.Buf, len(tn.NegClasses))
+		for i, c := range tn.NegClasses {
+			bufs[i] = b.leaves[c].Out()
+		}
+		negCls = append(negCls, tn.NegClasses...)
+		specs = append(specs, operator.NegSpec{
+			NegBufs: bufs, Pred: pred, Prev: tn.Prev, Next: tn.Next,
+		})
+	}
+	nf := operator.NewNegFilter(root, specs, b.q.Within)
+	cover := append(append([]int{}, root.Describe().Classes...), negCls...)
+	sort.Ints(cover)
+	nf.SetDesc(operator.Desc{Classes: cover, Preds: texts,
+		Detail: fmt.Sprintf("terms=%d", len(specs))})
+	return nf, nil
 }
 
 // buildShape recursively constructs the operator tree for a shape node.
@@ -414,7 +458,7 @@ func (b *builder) buildShape(s *Shape) (operator.Node, error) {
 	rightCls := b.coveredClasses(s.R)
 	cover := append(append([]int{}, leftCls...), rightCls...)
 
-	preds, hashJoin, err := b.nodePreds(cover, leftCls, rightCls, true)
+	preds, hashJoin, predTexts, hashCond, err := b.nodePreds(cover, leftCls, rightCls, true)
 	if err != nil {
 		return nil, err
 	}
@@ -433,6 +477,8 @@ func (b *builder) buildShape(s *Shape) (operator.Node, error) {
 	if hashJoin != nil {
 		seq.UseHash(*hashJoin)
 	}
+	sort.Ints(cover)
+	seq.SetDesc(operator.Desc{Classes: cover, Preds: predTexts, Detail: hashCond})
 	return seq, nil
 }
 
@@ -466,8 +512,10 @@ func (b *builder) coveredClasses(s *Shape) []int {
 // aggregate predicates (handled inside units). When hashing is enabled and
 // an equality predicate joins the two children, it is returned as a
 // HashSpec instead (only the first such predicate; further ones remain
-// ordinary predicates).
-func (b *builder) nodePreds(cover, leftCls, rightCls []int, allowHash bool) (expr.Predicate, *operator.HashSpec, error) {
+// ordinary predicates). texts are the source forms of the placed
+// predicates and hashCond the source form of the hash-probed equality,
+// for EXPLAIN node descriptions.
+func (b *builder) nodePreds(cover, leftCls, rightCls []int, allowHash bool) (pred expr.Predicate, hashSpec *operator.HashSpec, texts []string, hashCond string, err error) {
 	coverSet := toSet(cover)
 	leftSet := toSet(leftCls)
 	rightSet := toSet(rightCls)
@@ -502,36 +550,39 @@ func (b *builder) nodePreds(cover, leftCls, rightCls []int, allowHash bool) (exp
 		if touchesDisj {
 			disjCmps = append(disjCmps, pi.Cmp)
 			disjRefs = append(disjRefs, pi.Classes)
+			texts = append(texts, pi.Cmp.String())
 			continue
 		}
 		if allowHash && b.opts.UseHash && hash == nil && pi.EqJoin != nil {
 			if spec, ok := b.hashSpecFor(pi.EqJoin, leftSet, rightSet); ok {
 				hash = &spec
+				hashCond = pi.Cmp.String()
 				continue
 			}
 		}
 		cmps = append(cmps, pi.Cmp)
+		texts = append(texts, pi.Cmp.String())
 	}
 	var preds []expr.Predicate
 	if len(cmps) > 0 {
 		p, err := expr.CompilePreds(cmps)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		preds = append(preds, p)
 	}
 	for k, c := range disjCmps {
 		p, err := expr.CompilePred(c)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, "", err
 		}
 		preds = append(preds, disjTolerant(p, disjRefs[k], b.disjClasses))
 	}
 	switch len(preds) {
 	case 0:
-		return nil, hash, nil
+		return nil, hash, texts, hashCond, nil
 	case 1:
-		return preds[0], hash, nil
+		return preds[0], hash, texts, hashCond, nil
 	default:
 		all := preds
 		return func(env expr.Env) bool {
@@ -541,7 +592,7 @@ func (b *builder) nodePreds(cover, leftCls, rightCls []int, allowHash bool) (exp
 				}
 			}
 			return true
-		}, hash, nil
+		}, hash, texts, hashCond, nil
 	}
 }
 
@@ -608,12 +659,16 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 		var node operator.Node = b.leaves[u.Classes[0]]
 		built := []int{u.Classes[0]}
 		for _, c := range u.Classes[1:] {
-			preds, _, err := b.nodePreds(append(append([]int{}, built...), c), built, []int{c}, false)
+			preds, _, predTexts, _, err := b.nodePreds(append(append([]int{}, built...), c), built, []int{c}, false)
 			if err != nil {
 				return nil, err
 			}
-			node = operator.NewConj(node, b.leaves[c], b.window, preds)
+			cj := operator.NewConj(node, b.leaves[c], b.window, preds)
 			built = append(built, c)
+			cover := append([]int{}, built...)
+			sort.Ints(cover)
+			cj.SetDesc(operator.Desc{Classes: cover, Preds: predTexts})
+			node = cj
 		}
 		return node, nil
 
@@ -622,13 +677,15 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 		for i, c := range u.Classes {
 			children[i] = b.leaves[c]
 		}
-		return operator.NewDisj(children, !b.opts.Adaptive), nil
+		dj := operator.NewDisj(children, !b.opts.Adaptive)
+		dj.SetDesc(operator.Desc{Classes: append([]int{}, u.Classes...)})
+		return dj, nil
 
 	case UnitKSeq:
 		return b.buildKSeq(u)
 
 	case UnitNSeqLeft:
-		pred, err := b.negPred(u.NegClasses)
+		pred, predTexts, err := b.negPred(u.NegClasses)
 		if err != nil {
 			return nil, err
 		}
@@ -637,6 +694,7 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 			bufs[i] = b.leaves[c].Out()
 		}
 		ns := operator.NewNSeqLeft(bufs, u.NegClasses, b.leaves[u.Anchor], b.window, pred, !b.opts.Adaptive)
+		ns.SetDesc(operator.Desc{Classes: sortedCover(u.NegClasses, u.Anchor), Preds: predTexts})
 		// a leading negation (no classes before it) is checked at
 		// emission: the negating event must fall outside the window
 		// preceding the match end.
@@ -655,7 +713,7 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 		return ns, nil
 
 	case UnitNSeqRight:
-		pred, err := b.negPred(u.NegClasses)
+		pred, predTexts, err := b.negPred(u.NegClasses)
 		if err != nil {
 			return nil, err
 		}
@@ -664,6 +722,7 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 			bufs[i] = b.leaves[c].Out()
 		}
 		ns := operator.NewNSeqRight(b.leaves[u.Anchor], bufs, u.NegClasses, b.window, pred, !b.opts.Adaptive)
+		ns.SetDesc(operator.Desc{Classes: sortedCover(u.NegClasses, u.Anchor), Preds: predTexts})
 		negCls := append([]int{}, u.NegClasses...)
 		w := b.window
 		b.emitChecks = append(b.emitChecks, func(r *buffer.Record) bool {
@@ -684,6 +743,7 @@ func (b *builder) buildUnit(u *Unit) (operator.Node, error) {
 func (b *builder) buildKSeq(u *Unit) (operator.Node, error) {
 	unitSet := toSet(u.Classes)
 	var perEvent, group []*query.Cmp
+	var texts []string
 	for i, pi := range b.in.Preds {
 		if pi.Single() && !pi.HasAgg {
 			continue // pushed to leaves
@@ -707,6 +767,7 @@ func (b *builder) buildKSeq(u *Unit) (operator.Node, error) {
 			continue
 		}
 		b.predPlaced[i] = true
+		texts = append(texts, pi.Cmp.String())
 		switch {
 		case pi.HasAgg:
 			group = append(group, pi.Cmp)
@@ -735,8 +796,20 @@ func (b *builder) buildKSeq(u *Unit) (operator.Node, error) {
 	if u.EndClass >= 0 {
 		end = b.leaves[u.EndClass]
 	}
-	return operator.NewKSeq(start, b.leaves[u.MidClass].Out(), u.MidClass, end,
-		b.in.NumClasses(), b.window, u.Closure, u.Count, pe, gp, !b.opts.Adaptive), nil
+	ks := operator.NewKSeq(start, b.leaves[u.MidClass].Out(), u.MidClass, end,
+		b.in.NumClasses(), b.window, u.Closure, u.Count, pe, gp, !b.opts.Adaptive)
+	cover := append([]int{}, u.Classes...)
+	sort.Ints(cover)
+	ks.SetDesc(operator.Desc{Classes: cover, Preds: texts,
+		Detail: fmt.Sprintf("mid=%s", b.in.Classes[u.MidClass].Alias)})
+	return ks, nil
+}
+
+// sortedCover returns classes plus extra, sorted ascending.
+func sortedCover(classes []int, extra int) []int {
+	out := append([]int{extra}, classes...)
+	sort.Ints(out)
+	return out
 }
 
 func toSet(xs []int) map[int]bool {

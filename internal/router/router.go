@@ -1,6 +1,8 @@
 package router
 
 import (
+	"math/bits"
+
 	"repro/internal/event"
 	"repro/internal/expr"
 	"repro/internal/query"
@@ -39,6 +41,7 @@ type Stats struct {
 type eqAtom struct {
 	attr string
 	val  event.Value
+	text string // predicate source text, for EXPLAIN
 }
 
 // classAdm is the compiled admission condition of one query class: all eq
@@ -60,6 +63,16 @@ type sub struct {
 	// fallback subscriptions always receive every event with MaskAll
 	// (>64 classes, or predicate compilation failed).
 	fallback bool
+	// nclasses is the query's class count (admitted's length for indexed
+	// subscriptions).
+	nclasses int
+	// admitted counts per-class admissions since Add (EXPLAIN's
+	// unconditioned view); nil for fallback subscriptions, whose
+	// deliveries prove nothing per class.
+	admitted []uint64
+	// baseEvents is the router's event counter at Add time, so
+	// events-seen-since-subscribe = stats.Events - baseEvents.
+	baseEvents uint64
 
 	// per-event accumulation scratch (epoch-stamped).
 	mask  uint64
@@ -70,6 +83,7 @@ type sub struct {
 // atom is one deduplicated residual predicate with a per-event memo.
 type atom struct {
 	fp    string
+	text  string // predicate source text, for EXPLAIN
 	pred  expr.Predicate
 	env   expr.EventEnv // Class bound to the introducing query's class
 	refs  int
@@ -150,11 +164,20 @@ func New() *Router {
 // for the next Route call, which — with the runtime's queue-ordered
 // registration ops — is an exact stream position.
 func (r *Router) Add(id int64, info *query.Info, payload any) {
-	s := &sub{id: id, payload: payload}
-	if info.NumClasses() > 64 {
+	s := &sub{id: id, payload: payload, baseEvents: r.stats.Events}
+	// Class bits are indexed by ClassInfo.Idx, which suffix-only infos
+	// (shared-prefix consumers) retain from the full query, so sizing must
+	// follow the max index, not the class count.
+	for _, ci := range info.Classes {
+		if ci.Idx+1 > s.nclasses {
+			s.nclasses = ci.Idx + 1
+		}
+	}
+	if s.nclasses > 64 {
 		s.fallback = true
 	} else if classes, always, ok := r.compileClasses(info); ok {
 		s.classes, s.alwaysMask = classes, always
+		s.admitted = make([]uint64, s.nclasses)
 	} else {
 		s.fallback = true // predicate compilation failed
 	}
@@ -213,7 +236,7 @@ func (r *Router) compileClasses(info *query.Info) (classes []classAdm, always ui
 				continue
 			}
 			if attr, lit, ok := query.EqualityAtom(pi.Cmp); ok && attr != expr.TsAttr {
-				ca.eqs = append(ca.eqs, eqAtom{attr: attr, val: litValue(lit)})
+				ca.eqs = append(ca.eqs, eqAtom{attr: attr, val: litValue(lit), text: pi.Cmp.String()})
 				continue
 			}
 			ai, ok := r.atomFor(pi.Cmp, ci.Idx)
@@ -268,7 +291,7 @@ func (r *Router) atomFor(c *query.Cmp, class int) (int, bool) {
 	if err != nil {
 		return 0, false
 	}
-	a := &atom{fp: fp, pred: pred, env: expr.EventEnv{Class: class}, refs: 1}
+	a := &atom{fp: fp, text: c.String(), pred: pred, env: expr.EventEnv{Class: class}, refs: 1}
 	var i int
 	if n := len(r.freeIDs); n > 0 {
 		i = r.freeIDs[n-1]
@@ -411,6 +434,11 @@ func (r *Router) Route(events []*event.Event) []SubBatch {
 				r.active = append(r.active, s)
 			}
 			s.batch = append(s.batch, Delivery{Ev: ev, Mask: s.mask})
+			if !s.fallback {
+				for m := s.mask; m != 0; m &= m - 1 {
+					s.admitted[bits.TrailingZeros64(m)]++
+				}
+			}
 			r.stats.Deliveries++
 		}
 		clear(r.touched)
@@ -460,6 +488,64 @@ func (r *Router) evalAtom(i int, ev *event.Event) bool {
 		r.stats.ResidualEvals++
 	}
 	return a.val
+}
+
+// ClassAdmission is the EXPLAIN view of one class's compiled admission
+// condition and its live counter.
+type ClassAdmission struct {
+	// Class is the class index.
+	Class int
+	// EqAtoms are the hash-dispatchable `attr = const` predicate texts.
+	EqAtoms []string
+	// Residual are the interned non-equality predicate texts.
+	Residual []string
+	// Always reports an unconditional class (no single-class predicates).
+	Always bool
+	// Admitted counts events this class admitted since subscription.
+	Admitted uint64
+}
+
+// SubInfo is the EXPLAIN view of one subscription.
+type SubInfo struct {
+	// Fallback reports unproven MaskAll delivery (>64 classes or
+	// predicate compilation failed); Classes is nil then.
+	Fallback bool
+	// Events counts events routed since this subscription was added: the
+	// denominator for per-class admission rates.
+	Events uint64
+	// Classes holds one entry per class index, in order.
+	Classes []ClassAdmission
+}
+
+// Describe returns the EXPLAIN view of subscription id. The second result
+// is false when id is not registered.
+func (r *Router) Describe(id int64) (SubInfo, bool) {
+	s, ok := r.byID[id]
+	if !ok {
+		return SubInfo{}, false
+	}
+	si := SubInfo{Fallback: s.fallback, Events: r.stats.Events - s.baseEvents}
+	if s.fallback {
+		return si, true
+	}
+	si.Classes = make([]ClassAdmission, s.nclasses)
+	for i := range si.Classes {
+		si.Classes[i] = ClassAdmission{
+			Class:    i,
+			Always:   s.alwaysMask&(1<<uint(i)) != 0,
+			Admitted: s.admitted[i],
+		}
+	}
+	for _, ca := range s.classes {
+		cls := bits.TrailingZeros64(ca.bit)
+		for _, eq := range ca.eqs {
+			si.Classes[cls].EqAtoms = append(si.Classes[cls].EqAtoms, eq.text)
+		}
+		for _, ai := range ca.resid {
+			si.Classes[cls].Residual = append(si.Classes[cls].Residual, r.atoms[ai].text)
+		}
+	}
+	return si, true
 }
 
 // Stats returns the router's counters.

@@ -23,6 +23,7 @@ type shardMsg struct {
 	ts     int64 // stream time when the batch was flushed (max ingested ts)
 	reg    *regOp
 	unreg  QueryID
+	snap   *snapOp
 }
 
 // regOp hands a registration to a worker. Exactly one of two shapes:
@@ -113,6 +114,13 @@ type engineGroup struct {
 	reader *buffer.ShareReader // shared-prefix consumer's producer cursor
 	prodID int64               // producer the reader belongs to (0 = none)
 
+	// adaptive caches eng.IsAdaptive(); batchDeliv counts this group's
+	// deliveries within the current routed batch, so the gap to the batch
+	// size (= router-rejected events) can be credited to the engine's
+	// statistics collector after the batch.
+	adaptive   bool
+	batchDeliv uint64
+
 	// gather-round scratch: taken holds the engine's matches for the
 	// current round, emitted marks that the first slot already delivered
 	// the originals (later slots clone).
@@ -202,7 +210,7 @@ func (w *worker) register(op *regOp) {
 	}
 	var g *engineGroup
 	if op.eng != nil {
-		g = &engineGroup{gid: op.gid, eng: op.eng, sink: op.sink}
+		g = &engineGroup{gid: op.gid, eng: op.eng, sink: op.sink, adaptive: op.eng.IsAdaptive()}
 		w.groups = append(w.groups, g)
 		w.byGID[op.gid] = g
 		if op.prodID != 0 {
@@ -364,6 +372,8 @@ func (w *worker) run(out chan<- mergeMsg) {
 			w.register(msg.reg)
 		case msg.unreg != 0:
 			w.unregister(msg.unreg)
+		case msg.snap != nil:
+			w.snapshot(msg.snap)
 		}
 		if w.router != nil {
 			// One classification pass decides, per event, which engines
@@ -395,10 +405,26 @@ func (w *worker) run(out chan<- mergeMsg) {
 					// evaluation inside ProcessAdmitted.
 					g.eng.ProcessAdmitted(d.Ev, d.Mask)
 				}
+				g.batchDeliv = uint64(len(sb.Events))
 				nDeliv += uint64(len(sb.Events))
 			}
 			if nDeliv > 0 {
 				w.delivered.Add(nDeliv)
+			}
+			// Credit router-level rejects to adaptive engines: an event the
+			// router withheld from a group was rejected by every one of its
+			// class filters, so the statistics collector can fold it in as a
+			// bulk reject — rates and selectivities then describe the
+			// unconditioned stream, exactly what a deliver-to-all engine
+			// would have measured (fallback subscriptions receive every
+			// event, so their gap is zero by construction).
+			if n := uint64(len(msg.events)); n > 0 {
+				for _, g := range w.groups {
+					if g.adaptive && n > g.batchDeliv {
+						g.eng.NoteRouterRejects(n-g.batchDeliv, shardTime)
+					}
+					g.batchDeliv = 0
+				}
 			}
 		} else {
 			if len(w.prods) > 0 && len(msg.events) > 0 {

@@ -109,6 +109,27 @@ func (c *Collector) Observe(cls int, e *event.Event, passed bool) {
 	}
 }
 
+// ObserveRejects records n filtered-out arrivals at stream time ts for
+// class cls without individual events: the bulk form of Observe(·, false)
+// used to credit router-level rejects, so a routed adaptive engine's rates
+// and selectivities describe the unconditioned stream (what a deliver-to-
+// all engine would have observed) instead of only the delivered slice.
+// Rejected events never enter the reservoir, so predicate-selectivity
+// sampling is unaffected.
+func (c *Collector) ObserveRejects(cls int, ts int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	cs := c.classes[cls]
+	cs.seen += n
+	bi := (ts / c.bucketWidth) % int64(c.nbuckets)
+	b := &cs.buckets[bi]
+	if bstart := ts - ts%c.bucketWidth; !b.valid || b.start != bstart {
+		b.start, b.arrivals, b.valid = bstart, 0, true
+	}
+	b.arrivals += n
+}
+
 // Rate returns the windowed-average arrival rate (events/tick) of class
 // cls, counting only complete-ish buckets.
 func (c *Collector) Rate(cls int, now int64) float64 {

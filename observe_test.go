@@ -1,0 +1,128 @@
+package zstream
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// get issues one request against the observability handler and returns the
+// status code and body.
+func get(t *testing.T, rt *Runtime, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	NewObservabilityHandler(rt).ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	b, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(b)
+}
+
+func TestObservabilityHandler(t *testing.T) {
+	rt := NewRuntime(WithShards(2))
+	defer rt.Close()
+	q := MustCompile(`PATTERN T1; T2
+		WHERE T1.name = T2.name AND T1.price > 100
+		WITHIN 10 RETURN T1, T2`)
+	id, err := rt.Register(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := "IBM"
+		if i%2 == 0 {
+			name = "SUN"
+		}
+		if err := rt.Ingest(NewStock(0, int64(i), int64(i), name, float64(90+i%20), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := get(t, rt, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"zstream_events_ingested_total 200",
+		"zstream_live_queries 1",
+		`zstream_query_records_in_total{query="` + strconv.FormatInt(int64(id), 10) + `"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, rt, "/explain")
+	if code != 200 {
+		t.Fatalf("/explain: status %d", code)
+	}
+	var ids []QueryID
+	if err := json.Unmarshal([]byte(body), &ids); err != nil {
+		t.Fatalf("/explain: %v in %q", err, body)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Errorf("/explain ids = %v, want [%d]", ids, id)
+	}
+
+	code, body = get(t, rt, "/explain/"+strconv.FormatInt(int64(id), 10))
+	if code != 200 {
+		t.Fatalf("/explain/{id}: status %d: %s", code, body)
+	}
+	var doc ExplainDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != ExplainVersion {
+		t.Errorf("version = %q, want %q", doc.Version, ExplainVersion)
+	}
+	if doc.QueryID != int64(id) || len(doc.Plans) == 0 {
+		t.Errorf("document incomplete: id=%d plans=%d", doc.QueryID, len(doc.Plans))
+	}
+
+	if code, _ := get(t, rt, "/explain/999"); code != 404 {
+		t.Errorf("/explain/999: status %d, want 404", code)
+	}
+	if code, _ := get(t, rt, "/explain/bogus"); code != 400 {
+		t.Errorf("/explain/bogus: status %d, want 400", code)
+	}
+}
+
+// TestEngineExplainDoc covers the standalone-engine document: live counters
+// appear after processing, and the cost section reflects the configured
+// strategy.
+func TestEngineExplainDoc(t *testing.T) {
+	q := MustCompile(`PATTERN T1; T2
+		WHERE T1.name = T2.name AND T1.price > 100
+		WITHIN 10 RETURN T1, T2`)
+	eng, err := NewEngine(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		eng.Process(NewStock(0, int64(i), int64(i), "IBM", float64(95+i%10), 1))
+	}
+	eng.Flush()
+	doc := eng.ExplainDoc()
+	if doc.Version != ExplainVersion || doc.QueryID != 0 {
+		t.Errorf("envelope = %q id=%d", doc.Version, doc.QueryID)
+	}
+	if doc.Strategy.Strategy != "optimal" || !doc.Strategy.UseHash {
+		t.Errorf("strategy = %+v", doc.Strategy)
+	}
+	if len(doc.Plans) != 1 || doc.Plans[0].Tree == nil {
+		t.Fatalf("plans = %+v", doc.Plans)
+	}
+	if doc.Plans[0].Tree.In == 0 && doc.Plans[0].Tree.Out == 0 {
+		t.Error("no live counters after 100 events")
+	}
+	if doc.Sharing != nil || doc.Router != nil {
+		t.Error("standalone document must omit sharing and router sections")
+	}
+	if !strings.Contains(doc.Text, "leaf(0)") {
+		t.Errorf("text rendering incomplete: %q", doc.Text)
+	}
+}
