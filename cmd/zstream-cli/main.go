@@ -33,15 +33,20 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	zstream "repro"
 )
@@ -71,6 +76,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "worker shards in serve mode (default GOMAXPROCS)")
 		partBy   = flag.String("partition-by", "name", "partition-key attribute in serve mode")
 		listen   = flag.String("listen", "", "with -serve: serve GET /metrics and /explain/{id} on this address")
+		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "with -serve: bound on the final drain after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -109,7 +115,7 @@ func main() {
 	}
 
 	if *serve {
-		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *listen)
+		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *listen, *drainTO)
 		return
 	}
 	runSingle(queryTexts[0], in, *adaptive, *disorder, *quiet)
@@ -198,7 +204,10 @@ func runSingle(text string, in io.Reader, adaptive bool, disorder int64, quiet b
 
 // runServe hosts every query on one sharded runtime and prints the merged
 // end-time-ordered match stream, each line tagged with its query index.
-func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive bool, listen string) {
+// SIGINT/SIGTERM stop the feed and drain gracefully: buffered events are
+// flushed and pending matches delivered, bounded by -drain-timeout, and
+// the drain outcome is reported on stderr before a clean exit.
+func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive bool, listen string, drainTO time.Duration) {
 	var opts []zstream.RuntimeOption
 	if shards > 0 {
 		opts = append(opts, zstream.WithShards(shards))
@@ -232,18 +241,37 @@ func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, ad
 		go func() { _ = http.Serve(ln, zstream.NewObservabilityHandler(rt)) }()
 	}
 
-	n, err := feedCSVFunc(in, rt.Ingest)
-	fail(err)
-	fail(rt.Close())
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	n, err := feedCSVFunc(in, func(ev *zstream.Event) error { return rt.IngestContext(ctx, ev) })
+	interrupted := ctx.Err() != nil
+	if err != nil && !interrupted {
+		fail(err)
+	}
+	if interrupted {
+		// A second signal during the drain kills the process normally.
+		stopSignals()
+		dctx, cancel := context.WithTimeout(context.Background(), drainTO)
+		rep, derr := rt.CloseContext(dctx)
+		cancel()
+		if derr != nil && !errors.Is(derr, context.DeadlineExceeded) {
+			fail(derr)
+		}
+		fmt.Fprintf(os.Stderr, "drain: interrupted complete=%v shed-events=%d timeout=%s\n",
+			rep.Complete, rep.EventsShed, drainTO)
+	} else {
+		fail(rt.Close())
+	}
 
 	st := rt.Stats()
 	var counts []string
 	for i, c := range perQuery {
 		counts = append(counts, fmt.Sprintf("q%d=%d", i, c))
 	}
-	fmt.Fprintf(os.Stderr, "events=%d shards=%d queries=%d matches=%d (%s) rounds=%d peak-mem=%.2fMB\n",
+	fmt.Fprintf(os.Stderr, "events=%d shards=%d queries=%d matches=%d (%s) shed=%d rounds=%d peak-mem=%.2fMB\n",
 		n, st.Shards, len(texts), st.MatchesDelivered, strings.Join(counts, " "),
-		st.Engine.Rounds, float64(st.Engine.PeakMemBytes)/(1<<20))
+		st.EventsShed, st.Engine.Rounds, float64(st.Engine.PeakMemBytes)/(1<<20))
 }
 
 // feedCSV parses the CSV stream into events and feeds them to eng.

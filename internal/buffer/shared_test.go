@@ -108,3 +108,41 @@ func TestEvictBeforeLimit(t *testing.T) {
 		t.Fatalf("EvictBeforeLimit evicted %d, want 1 (only Start < 4)", n)
 	}
 }
+
+// TestSharedOutDetachMidStreamUnclampsEviction models a consumer
+// quarantined mid-stream: a reader that drained part of the buffer and
+// then died must, once detached, stop clamping eviction — the remaining
+// readers' cursors stay correct across the freed range. This is the
+// buffer-level half of the runtime's quarantine sweep (which calls Detach
+// for the dead consumer's reader).
+func TestSharedOutDetachMidStreamUnclampsEviction(t *testing.T) {
+	b := New()
+	s := NewSharedOut(b)
+	dead := s.Attach(0)
+	live := s.Attach(0)
+	// The doomed reader drains the first two records, then "dies": its
+	// cursor freezes at 2 while the stream keeps appending.
+	b.Append(sharedRec(1, 1))
+	b.Append(sharedRec(2, 2))
+	drain(dead)
+	for ts := int64(3); ts <= 6; ts++ {
+		b.Append(sharedRec(ts, uint64(ts)))
+	}
+	drain(live)
+	// Eviction is clamped at the dead reader's frozen cursor.
+	if got := s.EvictBefore(100); got > 2 {
+		t.Fatalf("evicted %d records past the dead reader's cursor", got)
+	}
+	s.Detach(dead)
+	if got := s.EvictBefore(100); got == 0 {
+		t.Fatal("detaching the dead reader did not unclamp eviction")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffer holds %d records after full eviction", b.Len())
+	}
+	// The surviving reader keeps working across the freed range.
+	b.Append(sharedRec(7, 7))
+	if got := drain(live); len(got) != 1 || got[0].Start != 7 {
+		t.Fatalf("live reader after eviction: %+v", got)
+	}
+}

@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorHitIsNoop(t *testing.T) {
+	var in *Injector
+	in.Hit(SiteEngineBatch, 0, 1) // must not panic
+}
+
+func TestPanicRuleFiresOnNthMatchingHit(t *testing.T) {
+	in := New().Arm(Rule{Site: SiteEngineBatch, Shard: AnyShard, ID: 7, Nth: 3, Act: ActPanic})
+
+	hit := func(site Site, shard int, id int64) (panicked *Injected) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r.(*Injected)
+			}
+		}()
+		in.Hit(site, shard, id)
+		return nil
+	}
+
+	// Non-matching site and id must not advance the hit counter.
+	if p := hit(SiteEngineSync, 0, 7); p != nil {
+		t.Fatalf("wrong site fired: %v", p)
+	}
+	if p := hit(SiteEngineBatch, 0, 8); p != nil {
+		t.Fatalf("wrong id fired: %v", p)
+	}
+	if p := hit(SiteEngineBatch, 0, 7); p != nil {
+		t.Fatal("fired on hit 1, want hit 3")
+	}
+	if p := hit(SiteEngineBatch, 1, 7); p != nil {
+		t.Fatal("fired on hit 2, want hit 3")
+	}
+	p := hit(SiteEngineBatch, 2, 7)
+	if p == nil {
+		t.Fatal("did not fire on hit 3")
+	}
+	if p.Site != SiteEngineBatch || p.Shard != 2 || p.ID != 7 || p.Hit != 3 {
+		t.Fatalf("injected payload = %+v", p)
+	}
+	if !strings.Contains(p.Error(), "engine.batch") {
+		t.Fatalf("Error() = %q", p.Error())
+	}
+	// Nth != 0 fires exactly once.
+	if p := hit(SiteEngineBatch, 0, 7); p != nil {
+		t.Fatal("fired again after its once-only hit")
+	}
+	if got := in.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+}
+
+func TestShardFilterAndEveryHit(t *testing.T) {
+	in := New().Arm(Rule{Site: SiteEmit, Shard: 2, ID: 0, Nth: 0, Act: ActSleep})
+	in.Hit(SiteEmit, 0, 1)
+	in.Hit(SiteEmit, 2, 1)
+	in.Hit(SiteEmit, 2, 99) // ID 0 matches any subscriber
+	in.Hit(SiteEmit, 3, 1)
+	if got := in.Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2 (shard-2 hits only, every hit)", got)
+	}
+}
+
+func TestInjectedIsError(t *testing.T) {
+	var err error = &Injected{Site: SiteProducerBatch, Shard: 1, ID: -3, Hit: 2}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.ID != -3 {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+}
+
+func TestStallBlocksUntilRelease(t *testing.T) {
+	in := New().Arm(Rule{Site: SiteEngineBatch, Shard: AnyShard, Nth: 0, Act: ActStall})
+	var wg sync.WaitGroup
+	entered := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(entered)
+		in.Hit(SiteEngineBatch, 0, 1)
+	}()
+	<-entered
+	select {
+	case <-wait(&wg):
+		t.Fatal("stalled hit returned before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.Release()
+	in.Release() // idempotent
+	select {
+	case <-wait(&wg):
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled hit did not return after Release")
+	}
+	// Post-release stalls pass straight through.
+	done := make(chan struct{})
+	go func() { in.Hit(SiteEngineBatch, 1, 1); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-release stall blocked")
+	}
+}
+
+func wait(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	return ch
+}
+
+func TestDeriveNth(t *testing.T) {
+	if got := DeriveNth(42, 0); got != 1 {
+		t.Fatalf("DeriveNth(_, 0) = %d, want 1", got)
+	}
+	seen := map[uint64]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		n := DeriveNth(seed, 16)
+		if n < 1 || n > 16 {
+			t.Fatalf("DeriveNth(%d, 16) = %d out of [1,16]", seed, n)
+		}
+		if n != DeriveNth(seed, 16) {
+			t.Fatalf("DeriveNth(%d, 16) not deterministic", seed)
+		}
+		seen[n] = true
+	}
+	// The avalanche should cover most of the range over 200 seeds.
+	if len(seen) < 12 {
+		t.Fatalf("DeriveNth covered only %d/16 values over 200 seeds", len(seen))
+	}
+}

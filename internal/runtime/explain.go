@@ -123,10 +123,20 @@ func (rt *Runtime) Explain(id QueryID) (*explain.Doc, error) {
 		rt.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if rt.faults.dirty.Load() {
+		rt.reapFaultsLocked(true)
+	}
 	reg, ok := rt.live[id]
 	if !ok {
 		rt.mu.Unlock()
-		return nil, ErrUnknownQuery
+		return nil, &UnknownQueryError{ID: id}
+	}
+	if reg.quarantined {
+		rt.mu.Unlock()
+		if f := rt.faults.get(id); f != nil {
+			return nil, &QueryFaultError{Fault: *f}
+		}
+		return nil, ErrQuarantined
 	}
 	gs := rt.groups[reg.key]
 	q := gs.engines[0].Query()
@@ -340,6 +350,9 @@ func (rt *Runtime) Metrics() Metrics {
 	}
 	var qs []liveQ
 	for id, reg := range rt.live {
+		if reg.quarantined {
+			continue // the group is gone; the fault plane covers it
+		}
 		gs := rt.groups[reg.key]
 		qs = append(qs, liveQ{id: id, gid: gs.gid, members: gs.members, engines: gs.engines})
 	}
@@ -454,6 +467,15 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	p.val("zstream_matches_delivered_total", "", m.Stats.MatchesDelivered)
 	p.family("zstream_engine_deliveries_total", "(engine, event) deliveries across shards.", "counter")
 	p.val("zstream_engine_deliveries_total", "", m.Stats.EngineDeliveries)
+
+	p.family("zstream_quarantined_queries", "Registered queries quarantined by a contained fault.", "gauge")
+	p.val("zstream_quarantined_queries", "", uint64(m.Stats.QuarantinedQueries))
+	p.family("zstream_query_faults_total", "Contained query faults recorded (engine dispatch or OnMatch panics).", "counter")
+	p.val("zstream_query_faults_total", "", m.Stats.Faults)
+	p.family("zstream_ingest_shed_events_total", "Events shed at the ingest queue boundary by the overload policy, per shard.", "counter")
+	for i, n := range m.Stats.ShedByShard {
+		p.val("zstream_ingest_shed_events_total", fmt.Sprintf(`{shard="%d"}`, i), n)
+	}
 
 	p.family("zstream_router_events_total", "Events classified by the per-shard routers.", "counter")
 	p.val("zstream_router_events_total", "", m.Router.Events)

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -317,8 +318,12 @@ func TestExplainSharedPrefix(t *testing.T) {
 // runtimes must error, not hang or panic.
 func TestExplainErrors(t *testing.T) {
 	rt := New(Config{Shards: 1})
-	if _, err := rt.Explain(42); err != ErrUnknownQuery {
+	if _, err := rt.Explain(42); !errors.Is(err, ErrUnknownQuery) {
 		t.Errorf("unknown id: err = %v", err)
+	}
+	var uq *UnknownQueryError
+	if _, err := rt.Explain(42); !errors.As(err, &uq) || uq.ID != 42 {
+		t.Errorf("unknown id: err = %v, want UnknownQueryError{42}", err)
 	}
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)

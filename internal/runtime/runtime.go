@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -8,9 +9,11 @@ import (
 	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/router"
 )
@@ -28,6 +31,35 @@ var (
 	// ErrUnknownQuery is returned by Unregister for an id that is not live.
 	ErrUnknownQuery = errors.New("runtime: unknown query id")
 )
+
+// UnknownQueryError carries the id Unregister or Explain did not find. It
+// matches ErrUnknownQuery under errors.Is.
+type UnknownQueryError struct {
+	ID QueryID
+}
+
+func (e *UnknownQueryError) Error() string {
+	return fmt.Sprintf("runtime: unknown query id %d", e.ID)
+}
+
+// Is reports target == ErrUnknownQuery so errors.Is works unwrapped.
+func (e *UnknownQueryError) Is(target error) bool { return target == ErrUnknownQuery }
+
+// OutOfOrderError carries the regressing timestamp Ingest rejected and the
+// stream time it regressed behind. It matches ErrOutOfOrder under
+// errors.Is.
+type OutOfOrderError struct {
+	// Ts is the rejected event's timestamp; Last the largest timestamp
+	// already ingested.
+	Ts, Last int64
+}
+
+func (e *OutOfOrderError) Error() string {
+	return fmt.Sprintf("runtime: event timestamps must be non-decreasing: got ts %d after %d", e.Ts, e.Last)
+}
+
+// Is reports target == ErrOutOfOrder so errors.Is works unwrapped.
+func (e *OutOfOrderError) Is(target error) bool { return target == ErrOutOfOrder }
 
 // Config tunes a Runtime.
 type Config struct {
@@ -58,6 +90,17 @@ type Config struct {
 	// preserving — match transcripts are byte-identical either way — so
 	// this knob exists for differential testing and as an escape hatch.
 	NoSharing bool
+	// Overload selects the ingest-side behavior when a worker queue is
+	// full. Default OverloadBlock (backpressure, never sheds).
+	Overload OverloadPolicy
+	// OverloadTimeout bounds the wait under OverloadBlockWithTimeout.
+	// Default 50ms.
+	OverloadTimeout time.Duration
+	// Injector, when non-nil, threads the deterministic fault-injection
+	// harness through every worker dispatch boundary and the merger's
+	// emit path (chaos tests only; production leaves it nil and pays one
+	// nil check per dispatch).
+	Injector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueLen <= 0 {
 		c.QueueLen = 8
+	}
+	if c.OverloadTimeout <= 0 {
+		c.OverloadTimeout = 50 * time.Millisecond
 	}
 	return c
 }
@@ -93,8 +139,19 @@ type Stats struct {
 	// instead of buffering and joining their prefix privately.
 	SharedSubplans        int
 	SharedPrefixConsumers int
-	EventsIngested        uint64
-	MatchesDelivered      uint64
+	// QuarantinedQueries counts registered queries removed from execution
+	// by a contained fault (not included in LiveQueries); Faults counts
+	// fault records ever made, including quarantined queries since
+	// unregistered. See Runtime.Faults for the records themselves.
+	QuarantinedQueries int
+	Faults             uint64
+	// EventsShed counts events dropped at the ingest queue boundary by
+	// the overload policy or an expired ingest/drain deadline, never
+	// reaching their shard; ShedByShard breaks the count down per shard.
+	EventsShed       uint64
+	ShedByShard      []uint64
+	EventsIngested   uint64
+	MatchesDelivered uint64
 	// EngineDeliveries counts (engine, event) deliveries across all
 	// shards. The naive path delivers every event to every live engine;
 	// the router only to engines with at least one admitting class, so
@@ -103,10 +160,14 @@ type Stats struct {
 	Engine           core.EngineStats
 }
 
-// registered tracks one live query: which engine group it belongs to.
+// registered tracks one live query: which engine group it belongs to, and
+// whether a contained fault has quarantined it (the group is gone then,
+// but the entry stays so Unregister of the dead id still works and a
+// re-registration of the same query text gets a fresh group).
 type registered struct {
-	id  QueryID
-	key groupKey
+	id          QueryID
+	key         groupKey
+	quarantined bool
 }
 
 // groupKey identifies an engine group: the whole-query canonical
@@ -157,6 +218,12 @@ type Runtime struct {
 	ingested    atomic.Uint64
 	delivered   atomic.Uint64
 	engineDeliv atomic.Uint64
+	shed        []atomic.Uint64 // per-shard overload-shed event counts
+
+	// faults collects contained panics from workers and the merger; the
+	// next mu-holding API call reaps them into the registry (workers
+	// never take mu themselves).
+	faults *faultSink
 
 	// mu serializes Ingest, Register, Unregister and Close with each
 	// other; the per-shard pending batches and registry below are guarded
@@ -200,11 +267,14 @@ func New(cfg Config) *Runtime {
 		prefixes: map[string]*prefixState{},
 		pending:  make([][]*event.Event, cfg.Shards),
 		lastTs:   math.MinInt64 / 2,
+		shed:     make([]atomic.Uint64, cfg.Shards),
+		faults:   newFaultSink(),
 	}
 	rt.pendingSpare = make([][]*event.Event, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen), delivered: &rt.engineDeliv,
-			byGID: map[int64]*engineGroup{}, byProdID: map[int64]*prodEntry{}}
+			byGID: map[int64]*engineGroup{}, byProdID: map[int64]*prodEntry{},
+			faults: rt.faults, inj: cfg.Injector}
 		if !cfg.NaiveFanout {
 			w.router = router.New()
 		}
@@ -237,6 +307,11 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return 0, ErrClosed
+	}
+	if rt.faults.dirty.Load() {
+		// Apply pending quarantines first, so dedupe can never alias the
+		// new query onto a faulted group still lingering in the registry.
+		rt.reapFaultsLocked(true)
 	}
 	rt.nextID++
 	id := rt.nextID
@@ -376,30 +451,49 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 // group, the group's engines are dropped without a final flush: partial
 // matches pending inside the window are discarded, while matches already
 // emitted are still delivered. Events ingested before Unregister returns
-// are still evaluated by the query.
+// are still evaluated by the query. Unregistering a quarantined id
+// succeeds and removes its registry entry (the fault record stays
+// inspectable via Faults).
 func (rt *Runtime) Unregister(id QueryID) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return ErrClosed
 	}
+	if rt.faults.dirty.Load() {
+		rt.reapFaultsLocked(true)
+	}
 	reg, ok := rt.live[id]
 	if !ok {
-		return ErrUnknownQuery
+		return &UnknownQueryError{ID: id}
+	}
+	if reg.quarantined {
+		// The group (and all worker-side state) is already gone; only the
+		// registry entry remains.
+		delete(rt.live, id)
+		return nil
 	}
 	ts := rt.lastTs // captured under mu: the op closure runs unlocked
 	rt.sendLocked(func(int) shardMsg { return shardMsg{ts: ts, unreg: id} })
 	delete(rt.live, id)
 	gs := rt.groups[reg.key]
 	gs.members--
-	if gs.members > 0 {
-		return nil
+	if gs.members == 0 {
+		rt.dropGroupLocked(reg.key, gs)
 	}
-	// Last member: fold the dropped engines' counters into the retired
-	// accumulator so Stats stays cumulative without keeping dead engines
-	// (and their buffered windows) alive. Workers may process a final
-	// in-flight batch after this snapshot; those last few events go
-	// uncounted.
+	return nil
+}
+
+// dropGroupLocked removes one engine group's registry entry: its engine
+// counters are folded into the retired accumulator (so Stats stays
+// cumulative without keeping dead engines — and their buffered windows —
+// alive; workers may process a final in-flight batch after this snapshot,
+// those last few events go uncounted) and its prefix-family bookkeeping is
+// unwound. The family bookkeeping mirrors the workers': when the last
+// consumer leaves, the per-shard producers are dropped (worker-side, by
+// reader refcount); a later family member starts a fresh producer. Callers
+// hold mu.
+func (rt *Runtime) dropGroupLocked(key groupKey, gs *groupState) {
 	for _, e := range gs.engines {
 		s := e.Snapshot()
 		rt.retired.Matches += s.Matches
@@ -408,14 +502,14 @@ func (rt *Runtime) Unregister(id QueryID) error {
 		rt.retired.PeakMemBytes += s.PeakMemBytes
 		rt.retired.Events += s.Events
 	}
-	delete(rt.groups, reg.key)
+	delete(rt.groups, key)
 	if gs.prefixKey == "" {
-		return nil
+		return
 	}
-	// Prefix-family bookkeeping mirrors the workers': when the last
-	// consumer leaves, the per-shard producers are dropped (worker-side,
-	// by reader refcount); a later family member starts a fresh producer.
 	ps := rt.prefixes[gs.prefixKey]
+	if ps == nil {
+		return
+	}
 	if gs.consumer {
 		ps.consumers--
 		if ps.consumers == 0 {
@@ -427,7 +521,6 @@ func (rt *Runtime) Unregister(id QueryID) error {
 	if ps.solos == 0 && ps.consumers == 0 {
 		delete(rt.prefixes, gs.prefixKey)
 	}
-	return nil
 }
 
 // Ingest feeds one event. Timestamps must be non-decreasing; the event's
@@ -439,13 +532,21 @@ func (rt *Runtime) Unregister(id QueryID) error {
 // with Register/Unregister/Stats, though multi-producer ingest needs
 // external ordering to keep timestamps monotone.
 func (rt *Runtime) Ingest(ev *event.Event) error {
+	return rt.ingest(nil, ev)
+}
+
+// ingest is the shared Ingest/IngestContext body; a nil ctx never expires.
+func (rt *Runtime) ingest(ctx context.Context, ev *event.Event) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return ErrClosed
 	}
+	if rt.faults.dirty.Load() {
+		rt.reapFaultsLocked(true)
+	}
 	if ev.Ts < rt.lastTs {
-		return fmt.Errorf("%w: got ts %d after %d", ErrOutOfOrder, ev.Ts, rt.lastTs)
+		return &OutOfOrderError{Ts: ev.Ts, Last: rt.lastTs}
 	}
 	rt.lastTs = ev.Ts
 	rt.lastSeq++
@@ -458,7 +559,7 @@ func (rt *Runtime) Ingest(ev *event.Event) error {
 	rt.nPend++
 	rt.ingested.Add(1)
 	if rt.nPend >= rt.cfg.BatchSize {
-		rt.sendLocked(nil)
+		return rt.sendLockedCtx(ctx, nil)
 	}
 	return nil
 }
@@ -494,11 +595,21 @@ func (rt *Runtime) shard(ev *event.Event) int {
 // for the blocking channel sends: only sendMu (acquired under mu, so
 // send phases run in decision order) is held while backpressure bites.
 func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
+	_ = rt.sendLockedCtx(nil, op)
+}
+
+// sendLockedCtx is sendLocked with overload/deadline handling on the event
+// flush: each shard's batch goes through sendBatch (which applies the
+// overload policy and ctx), while op messages always block — registry
+// operations are never shed. Returns the first context-expiry error; shard
+// batches after an expiry are shed and counted, so one flush never
+// half-blocks.
+func (rt *Runtime) sendLockedCtx(ctx context.Context, op func(shard int) shardMsg) error {
 	batches := rt.pending
 	ts := rt.lastTs
 	flush := rt.nPend > 0 || ts != math.MinInt64/2
 	if !flush && op == nil {
-		return
+		return nil
 	}
 	// Double-buffer the outer array: the spare is all-nil. It can be nil
 	// itself when a second flush overlaps an in-flight send (mu is dropped
@@ -513,9 +624,14 @@ func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
 
 	rt.sendMu.Lock()
 	rt.mu.Unlock()
+	var err error
 	for i, w := range rt.workers {
 		if flush {
-			w.in <- shardMsg{events: batches[i], ts: ts}
+			if err != nil {
+				rt.shedBatch(i, batches[i])
+			} else if e := rt.sendBatch(ctx, w, i, shardMsg{events: batches[i], ts: ts}); e != nil {
+				err = e
+			}
 		}
 		if op != nil {
 			w.in <- op(i)
@@ -529,6 +645,7 @@ func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
 	if rt.pendingSpare == nil {
 		rt.pendingSpare = batches
 	}
+	return err
 }
 
 // Close flushes buffered events, final-flushes every engine (emitting all
@@ -536,11 +653,33 @@ func (rt *Runtime) sendLocked(op func(shard int) shardMsg) {
 // the merger to drain, and stops all goroutines. It is idempotent; Ingest,
 // Register and Unregister fail with ErrClosed afterwards.
 func (rt *Runtime) Close() error {
+	_, err := rt.closeCtx(nil)
+	return err
+}
+
+// closeCtx is the shared Close/CloseContext body; a nil ctx never expires,
+// so the drain is unbounded (plain Close).
+func (rt *Runtime) closeCtx(ctx context.Context) (DrainReport, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
-		<-rt.merger
-		return nil
+		select {
+		case <-rt.merger:
+			return DrainReport{Complete: true}, nil
+		case <-done:
+			return DrainReport{}, ctx.Err()
+		}
+	}
+	if rt.faults.dirty.Load() {
+		// The worker channels are still open here, so the quarantine
+		// broadcast goes through: shards drop faulted engines before the
+		// final flush, keeping a quarantined query's partial matches out
+		// of the drained output.
+		rt.reapFaultsLocked(true)
 	}
 	rt.closed = true
 	batches := rt.pending
@@ -548,6 +687,7 @@ func (rt *Runtime) Close() error {
 	flush := rt.nPend > 0 || ts != math.MinInt64/2
 	rt.pending = make([][]*event.Event, rt.cfg.Shards)
 	rt.nPend = 0
+	shedBefore := rt.shedTotal()
 	// Channels are closed inside the sendMu phase, after any in-flight
 	// Register/Ingest send completes; closed (set under mu above) stops
 	// later callers before they reach a send.
@@ -555,13 +695,23 @@ func (rt *Runtime) Close() error {
 	rt.mu.Unlock()
 	for i, w := range rt.workers {
 		if flush {
-			w.in <- shardMsg{events: batches[i], ts: ts}
+			// Past the deadline sendBatch sheds rather than blocks; the
+			// channels are closed regardless, so workers always terminate.
+			_ = rt.sendBatch(ctx, w, i, shardMsg{events: batches[i], ts: ts})
 		}
 		close(w.in)
 	}
 	rt.sendMu.Unlock()
-	<-rt.merger
-	return nil
+	rep := DrainReport{}
+	var err error
+	select {
+	case <-rt.merger:
+		rep.Complete = true
+	case <-done:
+		err = ctx.Err()
+	}
+	rep.EventsShed = rt.shedTotal() - shedBefore
+	return rep, err
 }
 
 // Stats returns aggregated counters; safe to call at any time, including
@@ -571,6 +721,9 @@ func (rt *Runtime) Close() error {
 // the totals unregistered groups had accumulated when they were removed.
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
+	if !rt.closed && rt.faults.dirty.Load() {
+		rt.reapFaultsLocked(true)
+	}
 	engines := make([]*core.Engine, 0, len(rt.groups)*rt.cfg.Shards)
 	nConsumers := 0
 	for _, gs := range rt.groups {
@@ -585,7 +738,13 @@ func (rt *Runtime) Stats() Stats {
 			nProds++
 		}
 	}
-	nLive, nGroups := len(rt.live), len(rt.groups)
+	nQuar := 0
+	for _, reg := range rt.live {
+		if reg.quarantined {
+			nQuar++
+		}
+	}
+	nLive, nGroups := len(rt.live)-nQuar, len(rt.groups)
 	agg := rt.retired
 	rt.mu.Unlock()
 	st := Stats{
@@ -594,10 +753,18 @@ func (rt *Runtime) Stats() Stats {
 		EngineGroups:          nGroups,
 		SharedSubplans:        nProds,
 		SharedPrefixConsumers: nConsumers,
+		QuarantinedQueries:    nQuar,
+		Faults:                rt.faults.total.Load(),
+		ShedByShard:           make([]uint64, rt.cfg.Shards),
 		EventsIngested:        rt.ingested.Load(),
 		MatchesDelivered:      rt.delivered.Load(),
 		EngineDeliveries:      rt.engineDeliv.Load(),
 		Engine:                agg,
+	}
+	for i := range rt.shed {
+		n := rt.shed[i].Load()
+		st.ShedByShard[i] = n
+		st.EventsShed += n
 	}
 	for _, e := range engines {
 		s := e.Snapshot()

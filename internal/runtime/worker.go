@@ -1,13 +1,16 @@
 package runtime
 
 import (
+	"fmt"
 	"math"
+	"runtime/debug"
 	"slices"
 	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/slicepool"
@@ -24,6 +27,10 @@ type shardMsg struct {
 	reg    *regOp
 	unreg  QueryID
 	snap   *snapOp
+	// quar names an engine group quarantined elsewhere (another shard's
+	// contained panic, or a merger-side reap) that this shard must drop
+	// without recording a fault of its own.
+	quar int64
 }
 
 // regOp hands a registration to a worker. Exactly one of two shapes:
@@ -80,6 +87,7 @@ type pendingMatch struct {
 	seq   uint64 // per-shard emission order, for a deterministic tie-break
 	m     *core.Match
 	emit  func(*core.Match)
+	id    QueryID // owning query, for merger-side fault containment
 }
 
 // matchBatchPool recycles the pendingMatch batches workers ship to the
@@ -127,6 +135,11 @@ type engineGroup struct {
 	round   uint64
 	taken   []*core.Match
 	emitted bool
+
+	// quarantined marks a group dropped by a contained panic: every
+	// dispatch path skips it until the batch-boundary sweep removes its
+	// state structurally.
+	quarantined bool
 }
 
 // querySlot is one registered query, in registration order. Slot order
@@ -144,6 +157,11 @@ type prodEntry struct {
 	id      int64
 	prod    *core.Subplan
 	members []*engineGroup
+
+	// quarantined marks a producer dropped by a contained panic; its
+	// consumer groups are quarantined with it (their shared prefix state
+	// is unrecoverable).
+	quarantined bool
 }
 
 // worker owns one stream partition: a private physical engine per engine
@@ -158,6 +176,8 @@ type worker struct {
 	in        chan shardMsg
 	router    *router.Router
 	delivered *atomic.Uint64 // runtime-wide (engine, event) delivery counter
+	faults    *faultSink
+	inj       *faultinject.Injector // nil in production
 
 	slots    []*querySlot
 	groups   []*engineGroup // creation order (deterministic naive fan-out)
@@ -165,6 +185,17 @@ type worker struct {
 	prods    []*prodEntry
 	byProdID map[int64]*prodEntry
 	round    uint64
+
+	// shardTime is the largest timestamp of an event THIS shard received —
+	// the clock a naive (deliver-to-all) engine on this shard would have.
+	// Routed engines are advanced to it, not to the global stream time, so
+	// time-driven confirmations (trailing negation/closure) fire in exactly
+	// the same batch as they would without the router, keeping delivery
+	// order byte-identical between the two paths.
+	shardTime int64
+	// quarDirty flags that a group or producer was quarantined since the
+	// last structural sweep.
+	quarDirty bool
 }
 
 // syncProds runs one producer assembly round ahead of the consumers:
@@ -174,13 +205,10 @@ type worker struct {
 // batch (see core.Subplan.Assemble).
 func (w *worker) syncProds(batchMinTs int64) {
 	for _, pe := range w.prods {
-		horizon := int64(math.MaxInt64)
-		for _, g := range pe.members {
-			if h := g.eng.MatchHorizon(); h < horizon {
-				horizon = h
-			}
+		if pe.quarantined {
+			continue
 		}
-		pe.prod.Assemble(horizon, batchMinTs)
+		w.assembleProd(pe, batchMinTs, false)
 	}
 }
 
@@ -188,13 +216,191 @@ func (w *worker) syncProds(batchMinTs int64) {
 // all remaining partial matches.
 func (w *worker) flushProds() {
 	for _, pe := range w.prods {
-		horizon := int64(math.MaxInt64)
-		for _, g := range pe.members {
-			if h := g.eng.MatchHorizon(); h < horizon {
-				horizon = h
-			}
+		if pe.quarantined {
+			continue
 		}
+		w.assembleProd(pe, 0, true)
+	}
+}
+
+// recoverGroup is the deferred recovery arm of every engine-group
+// dispatch: a panic inside the group's engine (or an injected fault)
+// quarantines the group instead of killing the worker — and with it every
+// other query on the shard.
+func (w *worker) recoverGroup(g *engineGroup, site faultinject.Site) {
+	if r := recover(); r != nil {
+		w.quarantineGroup(g, string(site), r, debug.Stack())
+	}
+}
+
+// recoverProd is the producer-side recovery arm: a faulted shared-prefix
+// producer quarantines every consumer group attached to it (their shared
+// prefix state is unrecoverable).
+func (w *worker) recoverProd(pe *prodEntry, site faultinject.Site) {
+	if r := recover(); r != nil {
+		w.quarantineProd(pe, string(site), r, debug.Stack())
+	}
+}
+
+// quarantineGroup marks a group failed after a contained panic: the flag
+// stops all further dispatch, one fault per member query is recorded, and
+// the batch-boundary sweep removes the group's state structurally. The
+// worker records into the fault sink only — it must never take the
+// runtime's registry lock (deadlock against a backpressured send phase);
+// the next registry API call reaps the sink.
+func (w *worker) quarantineGroup(g *engineGroup, site string, rec any, stack []byte) {
+	if g.quarantined {
+		return
+	}
+	g.quarantined = true
+	w.quarDirty = true
+	var ids []QueryID
+	for _, s := range w.slots {
+		if s.g == g {
+			ids = append(ids, s.id)
+		}
+	}
+	w.faults.report(g.gid, ids, QueryFault{
+		GroupID:  g.gid,
+		Shard:    w.id,
+		Site:     site,
+		Panic:    fmt.Sprint(rec),
+		Stack:    string(stack),
+		StreamTs: w.shardTime,
+	})
+}
+
+func (w *worker) quarantineProd(pe *prodEntry, site string, rec any, stack []byte) {
+	if pe.quarantined {
+		return
+	}
+	pe.quarantined = true
+	w.quarDirty = true
+	for _, g := range pe.members {
+		w.quarantineGroup(g, site, rec, stack)
+	}
+}
+
+// feedRouted delivers one routed sub-batch to a group's engine under panic
+// containment. MaskAll deliveries fall back to full filter evaluation
+// inside ProcessAdmitted.
+func (w *worker) feedRouted(g *engineGroup, evs []router.Delivery) {
+	defer w.recoverGroup(g, faultinject.SiteEngineBatch)
+	w.inj.Hit(faultinject.SiteEngineBatch, w.id, g.gid)
+	for _, d := range evs {
+		g.eng.ProcessAdmitted(d.Ev, d.Mask)
+	}
+}
+
+// feedNaive delivers one whole shard batch to a group's engine (naive
+// deliver-to-all path) under panic containment. The ingest side
+// pre-stamped a globally monotone Seq, so every engine adopts it and
+// shares the event unmutated — no per-engine copy on the hot path.
+func (w *worker) feedNaive(g *engineGroup, evs []*event.Event) {
+	defer w.recoverGroup(g, faultinject.SiteEngineBatch)
+	w.inj.Hit(faultinject.SiteEngineBatch, w.id, g.gid)
+	for _, ev := range evs {
+		g.eng.Process(ev)
+	}
+}
+
+func (w *worker) feedProdRouted(pe *prodEntry, evs []router.Delivery) {
+	defer w.recoverProd(pe, faultinject.SiteProducerBatch)
+	w.inj.Hit(faultinject.SiteProducerBatch, w.id, pe.id)
+	for _, d := range evs {
+		pe.prod.ProcessAdmitted(d.Ev, d.Mask)
+	}
+}
+
+func (w *worker) feedProdNaive(pe *prodEntry, evs []*event.Event) {
+	defer w.recoverProd(pe, faultinject.SiteProducerBatch)
+	w.inj.Hit(faultinject.SiteProducerBatch, w.id, pe.id)
+	for _, ev := range evs {
+		pe.prod.Process(ev)
+	}
+}
+
+// assembleProd runs one producer assembly (or final flush) round under
+// panic containment. Quarantined members no longer bound the horizon:
+// their positions must not pin producer memory.
+func (w *worker) assembleProd(pe *prodEntry, batchMinTs int64, flush bool) {
+	defer w.recoverProd(pe, faultinject.SiteProducerBatch)
+	horizon := int64(math.MaxInt64)
+	for _, g := range pe.members {
+		if g.quarantined {
+			continue
+		}
+		if h := g.eng.MatchHorizon(); h < horizon {
+			horizon = h
+		}
+	}
+	if flush {
 		pe.prod.Flush(horizon)
+	} else {
+		pe.prod.Assemble(horizon, batchMinTs)
+	}
+}
+
+// syncGroup runs one batch-boundary round (or final flush) under panic
+// containment.
+func (w *worker) syncGroup(g *engineGroup, flush bool) {
+	defer w.recoverGroup(g, faultinject.SiteEngineSync)
+	w.inj.Hit(faultinject.SiteEngineSync, w.id, g.gid)
+	switch {
+	case flush:
+		g.eng.Flush()
+	case w.router != nil:
+		// Routed engines see only admitted events; SyncAt advances their
+		// clock to the shard time and still runs a round when pending
+		// confirmations lag behind it.
+		g.eng.SyncAt(w.shardTime)
+	default:
+		g.eng.Sync()
+	}
+}
+
+// noteRejects credits router-level rejects to an adaptive engine's
+// statistics collector under panic containment.
+func (w *worker) noteRejects(g *engineGroup, n uint64) {
+	defer w.recoverGroup(g, faultinject.SiteEngineBatch)
+	g.eng.NoteRouterRejects(n, w.shardTime)
+}
+
+// sweepQuarantined structurally removes every group and producer flagged
+// since the last sweep. It runs at the batch boundary (after gather), so
+// no flagged state is removed mid-iteration. A quarantined consumer's
+// reader is detached from its producer here, so the shared buffer stops
+// clamping eviction on a dead reader's position — a failed consumer never
+// pins producer memory.
+func (w *worker) sweepQuarantined() {
+	if !w.quarDirty {
+		return
+	}
+	w.quarDirty = false
+	for i := 0; i < len(w.slots); {
+		if w.slots[i].g.quarantined {
+			w.slots = append(w.slots[:i], w.slots[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	var qg []*engineGroup
+	for _, g := range w.groups {
+		if g.quarantined {
+			qg = append(qg, g)
+		}
+	}
+	for _, g := range qg {
+		w.dropGroup(g)
+	}
+	var qp []*prodEntry
+	for _, pe := range w.prods {
+		if pe.quarantined {
+			qp = append(qp, pe)
+		}
+	}
+	for _, pe := range qp {
+		w.dropProd(pe)
 	}
 }
 
@@ -225,6 +431,19 @@ func (w *worker) register(op *regOp) {
 		}
 	} else {
 		g = w.byGID[op.gid]
+		if g == nil || g.quarantined {
+			// The host group was quarantined after the registry aliased
+			// this query onto it: the new query inherits the fault rather
+			// than silently running nowhere.
+			w.faults.report(op.gid, []QueryID{op.id}, QueryFault{
+				GroupID:  op.gid,
+				Shard:    w.id,
+				Site:     "register.alias",
+				Panic:    "engine group quarantined before alias registration",
+				StreamTs: w.shardTime,
+			})
+			return
+		}
 	}
 	g.slots++
 	w.slots = append(w.slots, &querySlot{id: op.id, emit: op.emit, g: g})
@@ -248,6 +467,14 @@ func (w *worker) unregister(id QueryID) {
 	if g.slots > 0 {
 		return
 	}
+	w.dropGroup(g)
+}
+
+// dropGroup removes a group's shard-local state: list/index entries, its
+// router subscription and — for shared-prefix consumers — its producer
+// reader, dropping the producer when the last reader detaches. Shared by
+// unregister and the quarantine sweep.
+func (w *worker) dropGroup(g *engineGroup) {
 	for i, x := range w.groups {
 		if x == g {
 			w.groups = append(w.groups[:i], w.groups[i+1:]...)
@@ -262,36 +489,50 @@ func (w *worker) unregister(id QueryID) {
 		return
 	}
 	pe := w.byProdID[g.prodID]
-	pe.prod.Detach(g.reader)
+	if pe == nil {
+		return
+	}
 	for i, x := range pe.members {
 		if x == g {
 			pe.members = append(pe.members[:i], pe.members[i+1:]...)
 			break
 		}
 	}
+	// A quarantined producer's internals are suspect: skip Detach and let
+	// the sweep drop the producer wholesale.
+	if pe.quarantined {
+		g.reader = nil
+		return
+	}
+	pe.prod.Detach(g.reader)
+	g.reader = nil
 	if pe.prod.Readers() == 0 {
-		for i, x := range w.prods {
-			if x == pe {
-				w.prods = append(w.prods[:i], w.prods[i+1:]...)
-				break
-			}
+		w.dropProd(pe)
+	}
+}
+
+// dropProd removes a producer's shard-local state; idempotent (the
+// quarantine sweep may reach a producer the last consumer drop already
+// removed).
+func (w *worker) dropProd(pe *prodEntry) {
+	if _, ok := w.byProdID[pe.id]; !ok {
+		return
+	}
+	for i, x := range w.prods {
+		if x == pe {
+			w.prods = append(w.prods[:i], w.prods[i+1:]...)
+			break
 		}
-		delete(w.byProdID, pe.id)
-		if w.router != nil {
-			w.router.Remove(pe.id)
-		}
+	}
+	delete(w.byProdID, pe.id)
+	if w.router != nil {
+		w.router.Remove(pe.id)
 	}
 }
 
 func (w *worker) run(out chan<- mergeMsg) {
 	streamTime := int64(math.MinInt64 / 2)
-	// shardTime is the largest timestamp of an event THIS shard received —
-	// the clock a naive (deliver-to-all) engine on this shard would have.
-	// Routed engines are advanced to it, not to the global streamTime, so
-	// time-driven confirmations (trailing negation/closure) fire in exactly
-	// the same batch as they would without the router, keeping delivery
-	// order byte-identical between the two paths.
-	shardTime := int64(math.MinInt64 / 2)
+	w.shardTime = math.MinInt64 / 2
 	var emitSeq uint64
 
 	gather := func(flush bool) []pendingMatch {
@@ -299,18 +540,16 @@ func (w *worker) run(out chan<- mergeMsg) {
 		batch := getMatchBatch()
 		for _, s := range w.slots {
 			g := s.g
+			if g.quarantined {
+				continue
+			}
 			if g.round != w.round {
 				g.round = w.round
-				switch {
-				case flush:
-					g.eng.Flush()
-				case w.router != nil:
-					// Routed engines see only admitted events; SyncAt
-					// advances their clock to the shard time and still runs
-					// a round when pending confirmations lag behind it.
-					g.eng.SyncAt(shardTime)
-				default:
-					g.eng.Sync()
+				w.syncGroup(g, flush)
+				if g.quarantined {
+					// The round panicked: the sink's matches are suspect
+					// and die with the group at the sweep.
+					continue
 				}
 				g.taken = g.sink.take()
 				g.emitted = false
@@ -330,7 +569,7 @@ func (w *worker) run(out chan<- mergeMsg) {
 					mm = cloneMatch(m)
 				}
 				emitSeq++
-				batch = append(batch, pendingMatch{end: mm.End, shard: w.id, seq: emitSeq, m: mm, emit: s.emit})
+				batch = append(batch, pendingMatch{end: mm.End, shard: w.id, seq: emitSeq, m: mm, emit: s.emit, id: s.id})
 			}
 		}
 		for _, g := range w.groups {
@@ -363,8 +602,8 @@ func (w *worker) run(out chan<- mergeMsg) {
 		}
 		if n := len(msg.events); n > 0 {
 			// ingest order: the batch's last event carries its max ts
-			if ts := msg.events[n-1].Ts; ts > shardTime {
-				shardTime = ts
+			if ts := msg.events[n-1].Ts; ts > w.shardTime {
+				w.shardTime = ts
 			}
 		}
 		switch {
@@ -374,6 +613,14 @@ func (w *worker) run(out chan<- mergeMsg) {
 			w.unregister(msg.unreg)
 		case msg.snap != nil:
 			w.snapshot(msg.snap)
+		case msg.quar != 0:
+			// Quarantine broadcast from the registry reap: the group
+			// faulted on another shard (or in its OnMatch callback); drop
+			// it here too, without recording a duplicate fault.
+			if g, ok := w.byGID[msg.quar]; ok && !g.quarantined {
+				g.quarantined = true
+				w.quarDirty = true
+			}
 		}
 		if w.router != nil {
 			// One classification pass decides, per event, which engines
@@ -386,25 +633,19 @@ func (w *worker) run(out chan<- mergeMsg) {
 			if len(w.prods) > 0 && len(msg.events) > 0 {
 				for _, sb := range batches {
 					pe, ok := sb.Payload.(*prodEntry)
-					if !ok {
+					if !ok || pe.quarantined {
 						continue
 					}
-					for _, d := range sb.Events {
-						pe.prod.ProcessAdmitted(d.Ev, d.Mask)
-					}
+					w.feedProdRouted(pe, sb.Events)
 				}
 				w.syncProds(msg.events[0].Ts)
 			}
 			for _, sb := range batches {
 				g, ok := sb.Payload.(*engineGroup)
-				if !ok {
+				if !ok || g.quarantined {
 					continue
 				}
-				for _, d := range sb.Events {
-					// MaskAll deliveries fall back to full filter
-					// evaluation inside ProcessAdmitted.
-					g.eng.ProcessAdmitted(d.Ev, d.Mask)
-				}
+				w.feedRouted(g, sb.Events)
 				g.batchDeliv = uint64(len(sb.Events))
 				nDeliv += uint64(len(sb.Events))
 			}
@@ -420,37 +661,44 @@ func (w *worker) run(out chan<- mergeMsg) {
 			// event, so their gap is zero by construction).
 			if n := uint64(len(msg.events)); n > 0 {
 				for _, g := range w.groups {
-					if g.adaptive && n > g.batchDeliv {
-						g.eng.NoteRouterRejects(n-g.batchDeliv, shardTime)
+					if g.adaptive && !g.quarantined && n > g.batchDeliv {
+						w.noteRejects(g, n-g.batchDeliv)
 					}
 					g.batchDeliv = 0
 				}
 			}
 		} else {
 			if len(w.prods) > 0 && len(msg.events) > 0 {
-				for _, ev := range msg.events {
-					for _, pe := range w.prods {
-						pe.prod.Process(ev)
+				for _, pe := range w.prods {
+					if pe.quarantined {
+						continue
 					}
+					w.feedProdNaive(pe, msg.events)
 				}
 				w.syncProds(msg.events[0].Ts)
 			}
-			for _, ev := range msg.events {
+			if len(msg.events) > 0 {
+				var nDeliv uint64
 				for _, g := range w.groups {
-					// The ingest side pre-stamped a globally monotone Seq,
-					// so every engine adopts it and shares the event
-					// unmutated — no per-engine copy on the hot path.
-					g.eng.Process(ev)
+					if g.quarantined {
+						continue
+					}
+					w.feedNaive(g, msg.events)
+					nDeliv += uint64(len(msg.events))
 				}
-			}
-			if n := uint64(len(msg.events)) * uint64(len(w.groups)); n > 0 {
-				w.delivered.Add(n)
+				if nDeliv > 0 {
+					w.delivered.Add(nDeliv)
+				}
 			}
 		}
 		// Batch release: the events now live in engine buffers; the slice
 		// that carried them returns to the shared pool.
 		event.PutBatch(msg.events)
 		batch := gather(false)
+		// Sweep before the watermark probe: it runs MatchHorizon on every
+		// remaining group, and a just-quarantined engine's buffers are not
+		// safe to read.
+		w.sweepQuarantined()
 
 		// The shard watermark: no match this shard later produces can end
 		// before it. Future matches either complete on an already buffered
@@ -544,7 +792,8 @@ func (h *matchHeap) pop() pendingMatch {
 // holds back matches until every shard's watermark passes their end-time,
 // then releases them heap-ordered, giving one globally end-time-ordered
 // output across all queries and shards. Per-query callbacks run here, so
-// they are never invoked concurrently.
+// they are never invoked concurrently; a panicking callback quarantines
+// its query (emitMatch) and its remaining queued matches are skipped.
 func (rt *Runtime) runMerger() {
 	defer close(rt.merger)
 	n := rt.cfg.Shards
@@ -553,6 +802,7 @@ func (rt *Runtime) runMerger() {
 		wms[i] = math.MinInt64
 	}
 	var h matchHeap
+	var skip map[QueryID]bool // queries whose OnMatch panicked
 	finals := 0
 	release := func() {
 		min := wms[0]
@@ -565,9 +815,15 @@ func (rt *Runtime) runMerger() {
 		// produce a match ending exactly at W.
 		for len(h) > 0 && h[0].end < min {
 			pm := h.pop()
+			if skip != nil && skip[pm.id] {
+				continue
+			}
 			rt.delivered.Add(1)
-			if pm.emit != nil {
-				pm.emit(pm.m)
+			if pm.emit != nil && !rt.emitMatch(&pm) {
+				if skip == nil {
+					skip = map[QueryID]bool{}
+				}
+				skip[pm.id] = true
 			}
 		}
 	}

@@ -1,0 +1,96 @@
+package zstream
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// ErrQuarantined is matched (errors.Is) by the QueryFaultError returned
+// for a query the runtime removed from execution after a contained fault.
+var ErrQuarantined = runtime.ErrQuarantined
+
+// QueryFault records one contained fault: the quarantined query, the
+// dispatch site and shard the panic was recovered on, the panic message
+// and stack, and the stream position the query's output is complete up to.
+type QueryFault = runtime.QueryFault
+
+// QueryFaultError is returned by Explain for a quarantined query; it
+// matches ErrQuarantined under errors.Is and carries the QueryFault.
+type QueryFaultError = runtime.QueryFaultError
+
+// UnknownQueryError carries the id Unregister or Explain did not find; it
+// matches ErrUnknownQuery under errors.Is.
+type UnknownQueryError = runtime.UnknownQueryError
+
+// OutOfOrderError carries the regressing timestamp Ingest rejected and the
+// stream time it regressed behind; it matches ErrOutOfOrder under
+// errors.Is.
+type OutOfOrderError = runtime.OutOfOrderError
+
+// OverloadPolicy selects what Ingest does when a worker shard's input
+// queue is full; see the policy constants. Whatever the policy, only event
+// batches are ever shed — registrations, unregistrations and snapshots
+// always take effect.
+type OverloadPolicy = runtime.OverloadPolicy
+
+const (
+	// OverloadBlock blocks Ingest until the slow shard drains — classic
+	// backpressure, the default, never sheds.
+	OverloadBlock = runtime.OverloadBlock
+	// OverloadBlockWithTimeout blocks up to the configured overload
+	// timeout (WithOverloadTimeout), then sheds the stuck shard's batch.
+	OverloadBlockWithTimeout = runtime.OverloadBlockWithTimeout
+	// OverloadDropNewest sheds the incoming batch when the queue is full,
+	// preferring queued (older) work.
+	OverloadDropNewest = runtime.OverloadDropNewest
+	// OverloadDropOldest sheds the oldest queued batch to make room,
+	// preferring fresh data.
+	OverloadDropOldest = runtime.OverloadDropOldest
+)
+
+// DrainReport is CloseContext's account of a bounded drain: whether every
+// engine flushed and every match delivered before the deadline, and how
+// many buffered events were shed because they could not be.
+type DrainReport = runtime.DrainReport
+
+// WithOverloadPolicy selects the ingest overload policy (default
+// OverloadBlock). Shed events are counted per shard in
+// RuntimeStats.ShedByShard and the zstream_ingest_shed_events_total
+// metric.
+func WithOverloadPolicy(p OverloadPolicy) RuntimeOption {
+	return func(c *runtime.Config) { c.Overload = p }
+}
+
+// WithOverloadTimeout bounds the wait under OverloadBlockWithTimeout
+// (default 50ms).
+func WithOverloadTimeout(d time.Duration) RuntimeOption {
+	return func(c *runtime.Config) { c.OverloadTimeout = d }
+}
+
+// IngestContext is Ingest with a deadline: when backpressure would block
+// past ctx's expiry, the undelivered shard batches of the current flush
+// are shed (counted in RuntimeStats.EventsShed) and ctx's error returned.
+// Under a shedding overload policy it behaves like Ingest — those policies
+// never block long enough to notice the deadline.
+func (r *Runtime) IngestContext(ctx context.Context, ev *Event) error {
+	return r.rt.IngestContext(ctx, ev)
+}
+
+// CloseContext is Close with a deadline: it flushes and drains what it can
+// before ctx expires, always stops the workers, and reports whether the
+// drain completed and how many buffered events were dropped. A timed-out
+// drain may be re-awaited by calling CloseContext again with a fresh
+// context.
+func (r *Runtime) CloseContext(ctx context.Context) (DrainReport, error) {
+	return r.rt.CloseContext(ctx)
+}
+
+// Faults returns every contained query fault recorded so far, sorted by
+// query id. A faulted query is quarantined: its engines are dropped on
+// every shard, its Explain returns a QueryFaultError, and every other
+// query keeps running untouched. Unregistering a quarantined id removes
+// its registry entry (the fault record stays); re-registering the same
+// query text starts a fresh group. Faults keeps working after Close.
+func (r *Runtime) Faults() []QueryFault { return r.rt.Faults() }

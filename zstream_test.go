@@ -1,6 +1,7 @@
 package zstream_test
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -312,7 +313,7 @@ func TestRuntimeRegisterError(t *testing.T) {
 	if _, err := rt.Register(q); err != nil {
 		t.Fatalf("valid register failed: %v", err)
 	}
-	if err := rt.Unregister(zstream.QueryID(999)); err != zstream.ErrUnknownQuery {
+	if err := rt.Unregister(zstream.QueryID(999)); !errors.Is(err, zstream.ErrUnknownQuery) {
 		t.Errorf("Unregister(999) = %v", err)
 	}
 }
