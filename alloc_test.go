@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"testing"
 
+	zstream "repro"
+
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/query"
@@ -187,5 +189,45 @@ func TestRouterDeliverySteadyStateZeroAllocs(t *testing.T) {
 	}
 	if processed == 0 {
 		t.Fatal("no engine received events; test is vacuous")
+	}
+}
+
+// TestRuntimeIngestWALOffZeroAllocs pins the durability plane's zero-cost
+// guarantee for runtimes that never opted in: with no WAL configured, the
+// sharded runtime's steady-state ingest path — shard hash, pooled batch
+// append, channel flush, worker dispatch, heartbeat merge — allocates
+// nothing per event. Every WAL hook on the hot path hides behind one nil
+// check.
+func TestRuntimeIngestWALOffZeroAllocs(t *testing.T) {
+	rt := zstream.NewRuntime(zstream.WithShards(2), zstream.WithIngestBatch(64))
+	cq := zstream.MustCompile(`
+		PATTERN A; B
+		WHERE A.name = B.name AND B.price > A.price + 1000000
+		WITHIN 100 units`)
+	if _, err := rt.Register(cq); err != nil {
+		t.Fatal(err)
+	}
+	events := allocStream(45000, 0.5)
+	warm := 30000
+	for _, ev := range events[:warm] {
+		if err := rt.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := warm
+	avg := testing.AllocsPerRun(10000, func() {
+		if err := rt.Ingest(events[i]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("WAL-off runtime ingest allocates %.2f allocs/event, want 0", avg)
+	}
+	if st := rt.Stats(); st.WALEnabled || st.EventsIngested == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
 	}
 }

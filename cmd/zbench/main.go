@@ -64,6 +64,7 @@ var registry = []struct {
 	{"abl-eat", experiments.AblationEAT, "ablation: EAT push-down"},
 	{"abl-batch", experiments.AblationBatchSize, "ablation: batch size"},
 	{"fanout", experiments.Fanout, "multi-query fan-out: predicate router vs naive deliver-to-all"},
+	{"durability", experiments.Durability, "durability plane: WAL off vs fsync policies"},
 	{"fanout-shared", experiments.FanoutShared, "cross-query shared-subplan execution vs unshared"},
 }
 

@@ -30,6 +30,17 @@
 // GET /explain/{id} (the EXPLAIN document with live counters):
 //
 //	zstream-cli -serve -listen :9090 -query "PATTERN ..." events.csv
+//
+// -wal-dir (with -serve) arms the durability plane: every event is
+// appended to a write-ahead log before any engine sees it, with the fsync
+// policy picked by -fsync and checkpoints every -checkpoint-interval
+// events. After a crash, restart with -recover over the same directory:
+// the runtime replays the log tail, suppresses matches already printed
+// before the crash, skips the input rows it already processed, and the
+// combined output of both runs equals one uninterrupted run:
+//
+//	zstream-cli -serve -wal-dir ./wal -query "PATTERN ..." events.csv
+//	zstream-cli -serve -wal-dir ./wal -recover -query "PATTERN ..." events.csv
 package main
 
 import (
@@ -77,6 +88,10 @@ func main() {
 		partBy   = flag.String("partition-by", "name", "partition-key attribute in serve mode")
 		listen   = flag.String("listen", "", "with -serve: serve GET /metrics and /explain/{id} on this address")
 		drainTO  = flag.Duration("drain-timeout", 5*time.Second, "with -serve: bound on the final drain after SIGINT/SIGTERM")
+		walDir   = flag.String("wal-dir", "", "with -serve: write-ahead-log directory (arms the durability plane)")
+		fsyncPol = flag.String("fsync", "batch", "with -wal-dir: fsync policy, one of batch|interval|off")
+		ckptIv   = flag.Int("checkpoint-interval", 0, "with -wal-dir: checkpoint roughly every N logged events (default 4096)")
+		recover_ = flag.Bool("recover", false, "with -wal-dir: resume from an existing log instead of refusing it")
 	)
 	flag.Parse()
 
@@ -97,6 +112,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zstream-cli: -max-disorder is not supported with -serve (runtime ingest requires in-order timestamps)")
 		os.Exit(2)
 	}
+	if *walDir != "" && !*serve {
+		fmt.Fprintln(os.Stderr, "zstream-cli: -wal-dir requires -serve")
+		os.Exit(2)
+	}
+	if *recover_ && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "zstream-cli: -recover requires -wal-dir")
+		os.Exit(2)
+	}
+	if _, err := parseFsync(*fsyncPol); err != nil {
+		fmt.Fprintln(os.Stderr, "zstream-cli:", err)
+		os.Exit(2)
+	}
 	if *explain {
 		runExplain(queryTexts, *serve, *shards, *partBy, *adaptive, *disorder)
 		return
@@ -115,7 +142,8 @@ func main() {
 	}
 
 	if *serve {
-		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *listen, *drainTO)
+		runServe(queryTexts, in, *shards, *partBy, *quiet, *adaptive, *listen, *drainTO,
+			durFlags{dir: *walDir, fsync: *fsyncPol, ckptIv: *ckptIv, recover: *recover_})
 		return
 	}
 	runSingle(queryTexts[0], in, *adaptive, *disorder, *quiet)
@@ -202,36 +230,103 @@ func runSingle(text string, in io.Reader, adaptive bool, disorder int64, quiet b
 		n, matches, st.Rounds, float64(st.PeakMemBytes)/(1<<20))
 }
 
+// durFlags bundles the -wal-dir/-fsync/-checkpoint-interval/-recover
+// durability flags for serve mode.
+type durFlags struct {
+	dir     string
+	fsync   string
+	ckptIv  int
+	recover bool
+}
+
+// parseFsync maps the -fsync flag value to a policy.
+func parseFsync(s string) (zstream.FsyncPolicy, error) {
+	switch s {
+	case "batch":
+		return zstream.FsyncBatch, nil
+	case "interval":
+		return zstream.FsyncInterval, nil
+	case "off":
+		return zstream.FsyncOff, nil
+	}
+	return 0, fmt.Errorf("bad -fsync %q: want batch, interval or off", s)
+}
+
 // runServe hosts every query on one sharded runtime and prints the merged
 // end-time-ordered match stream, each line tagged with its query index.
 // SIGINT/SIGTERM stop the feed and drain gracefully: buffered events are
 // flushed and pending matches delivered, bounded by -drain-timeout, and
-// the drain outcome is reported on stderr before a clean exit.
-func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive bool, listen string, drainTO time.Duration) {
+// the drain outcome is reported on stderr before a clean exit. With
+// -wal-dir the runtime is durable; with -recover it resumes an existing
+// log, skipping input rows the log shows were already processed.
+func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, adaptive bool, listen string, drainTO time.Duration, df durFlags) {
 	var opts []zstream.RuntimeOption
 	if shards > 0 {
 		opts = append(opts, zstream.WithShards(shards))
 	}
 	opts = append(opts, zstream.WithPartitionBy(partBy))
-	rt := zstream.NewRuntime(opts...)
 
 	perQuery := make([]int, len(texts))
-	for i, text := range texts {
-		q, err := zstream.Compile(text)
-		fail(err)
-		i := i
-		qopts := []zstream.Option{zstream.OnMatch(func(m *zstream.Match) {
+	emit := func(i int) func(*zstream.Match) {
+		return func(m *zstream.Match) {
 			perQuery[i]++
 			if quiet {
 				return
 			}
 			fmt.Printf("q%d %s", i, renderMatch(m))
-		})}
-		if adaptive {
-			qopts = append(qopts, zstream.WithAdaptation())
 		}
-		_, err = rt.Register(q, qopts...)
+	}
+	registerAll := func(rt *zstream.Runtime) {
+		for i, text := range texts {
+			q, err := zstream.Compile(text)
+			fail(err)
+			qopts := []zstream.Option{zstream.OnMatch(emit(i))}
+			if adaptive {
+				qopts = append(qopts, zstream.WithAdaptation())
+			}
+			_, err = rt.Register(q, qopts...)
+			fail(err)
+		}
+	}
+
+	var rt *zstream.Runtime
+	var skipRows uint64
+	if df.dir != "" {
+		pol, err := parseFsync(df.fsync)
 		fail(err)
+		dopts := []zstream.DurabilityOption{
+			zstream.WithFsync(pol),
+			// Recovered queries print under their original q<i> tag: ids
+			// are assigned 1..n in registration order, matching the -query
+			// flag order of the pre-crash invocation.
+			zstream.WithRecoverHandler(func(id zstream.QueryID, src string) func(*zstream.Match) {
+				i := int(id) - 1
+				for i >= len(perQuery) {
+					perQuery = append(perQuery, 0)
+				}
+				return emit(i)
+			}),
+		}
+		if df.ckptIv > 0 {
+			dopts = append(dopts, zstream.WithCheckpointEvery(df.ckptIv))
+		}
+		opts = append(opts, zstream.WithDurability(df.dir, dopts...))
+		var info *zstream.RecoverInfo
+		rt, info, err = zstream.NewDurableRuntime(opts...)
+		fail(err)
+		if info.Events > 0 || info.Queries > 0 {
+			if !df.recover {
+				fail(fmt.Errorf("wal dir %q holds an existing log (%s); pass -recover to resume", df.dir, info))
+			}
+			fmt.Fprintln(os.Stderr, info)
+			skipRows = info.LastSeq
+		}
+		if info.Queries == 0 {
+			registerAll(rt)
+		}
+	} else {
+		rt = zstream.NewRuntime(opts...)
+		registerAll(rt)
 	}
 
 	if listen != "" {
@@ -244,7 +339,15 @@ func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, ad
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	n, err := feedCSVFunc(in, func(ev *zstream.Event) error { return rt.IngestContext(ctx, ev) })
+	var row uint64
+	n, err := feedCSVFunc(in, func(ev *zstream.Event) error {
+		if row++; row <= skipRows {
+			// Already durable and replayed; feeding it again would
+			// double-process.
+			return nil
+		}
+		return rt.IngestContext(ctx, ev)
+	})
 	interrupted := ctx.Err() != nil
 	if err != nil && !interrupted {
 		fail(err)
@@ -269,9 +372,14 @@ func runServe(texts []string, in io.Reader, shards int, partBy string, quiet, ad
 	for i, c := range perQuery {
 		counts = append(counts, fmt.Sprintf("q%d=%d", i, c))
 	}
-	fmt.Fprintf(os.Stderr, "events=%d shards=%d queries=%d matches=%d (%s) shed=%d rounds=%d peak-mem=%.2fMB\n",
-		n, st.Shards, len(texts), st.MatchesDelivered, strings.Join(counts, " "),
-		st.EventsShed, st.Engine.Rounds, float64(st.Engine.PeakMemBytes)/(1<<20))
+	wal := ""
+	if st.WALEnabled || st.WALErrors > 0 {
+		wal = fmt.Sprintf(" wal-events=%d wal-fsyncs=%d wal-errors=%d",
+			st.WAL.AppendedEvents, st.WAL.Fsyncs, st.WALErrors)
+	}
+	fmt.Fprintf(os.Stderr, "events=%d shards=%d queries=%d matches=%d (%s) shed=%d rounds=%d peak-mem=%.2fMB%s\n",
+		n, st.Shards, len(perQuery), st.MatchesDelivered, strings.Join(counts, " "),
+		st.EventsShed, st.Engine.Rounds, float64(st.Engine.PeakMemBytes)/(1<<20), wal)
 }
 
 // feedCSV parses the CSV stream into events and feeds them to eng.

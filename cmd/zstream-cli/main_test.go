@@ -1,8 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	zstream "repro"
 )
@@ -134,5 +138,67 @@ func TestFeedCSVFuncServe(t *testing.T) {
 		if ends[i] < ends[i-1] {
 			t.Errorf("merged delivery out of end-time order: %v", ends)
 		}
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for s, want := range map[string]zstream.FsyncPolicy{
+		"batch": zstream.FsyncBatch, "interval": zstream.FsyncInterval, "off": zstream.FsyncOff,
+	} {
+		got, err := parseFsync(s)
+		if err != nil || got != want {
+			t.Errorf("parseFsync(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseFsync("always"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestServeDurableRecover(t *testing.T) {
+	// The -wal-dir / -recover path end to end: a first durable serve run
+	// over a prefix of the CSV, then a second run with -recover over the
+	// full file; the second run must resume at the logged position (skip
+	// the prefix rows) and the combined output must equal one
+	// uninterrupted run.
+	var b strings.Builder
+	b.WriteString("ts,kind,price\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "%d,%c,%d\n", i+1, 'A'+rune(i%3), 10+(i*7)%23)
+	}
+	input := b.String()
+	lines := strings.SplitAfter(input, "\n")
+	prefix := strings.Join(lines[:201], "") // header + 200 rows
+	text := `PATTERN X;Y WHERE X.kind = Y.kind AND Y.price > X.price WITHIN 10 RETURN X, Y`
+
+	run := func(in string, df durFlags) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runServe([]string{text}, strings.NewReader(in), 2, "kind", false, false, "", time.Second, df)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+
+	want := run(input, durFlags{})
+
+	dir := t.TempDir()
+	df := durFlags{dir: dir, fsync: "off", ckptIv: 50}
+	first := run(prefix, df)
+	df.recover = true
+	rest := run(input, df)
+
+	if got := first + rest; got != want {
+		t.Errorf("combined durable output differs from uninterrupted run:\nfirst %d + rest %d bytes, want %d bytes",
+			len(first), len(rest), len(want))
 	}
 }

@@ -1,0 +1,112 @@
+package zstream_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	zstream "repro"
+)
+
+// TestDurableRuntimeRoundTrip: a durable runtime logs its stream, survives
+// a restart over the same directory, resumes from the logged position, and
+// the combined output of the two halves equals one uninterrupted run.
+func TestDurableRuntimeRoundTrip(t *testing.T) {
+	const src = `PATTERN A; B WHERE A.name = B.name AND B.price > A.price WITHIN 5 secs RETURN A, B`
+	events := make([]*zstream.Event, 0, 200)
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("S%d", i%4)
+		events = append(events, tick(uint64(i+1), int64(i)*500, name, float64(100+i%7)))
+	}
+
+	feed := func(rt *zstream.Runtime, from uint64) {
+		t.Helper()
+		for _, ev := range events[from:] {
+			cp := *ev
+			if err := rt.Ingest(&cp); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+
+	// Reference: one crash-free run.
+	var want []string
+	ref := zstream.NewRuntime(zstream.WithShards(2))
+	if _, err := ref.Register(zstream.MustCompile(src), zstream.OnMatch(func(m *zstream.Match) {
+		want = append(want, fmt.Sprintf("[%d..%d]%v", m.Start, m.End, m.Fields))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	feed(ref, 0)
+
+	// First durable run: stop (simulating a restart) halfway.
+	dir := t.TempDir()
+	var got []string
+	durOpts := func() []zstream.RuntimeOption {
+		return []zstream.RuntimeOption{
+			zstream.WithShards(2),
+			zstream.WithDurability(dir,
+				zstream.WithFsync(zstream.FsyncOff),
+				zstream.WithCheckpointEvery(64),
+				zstream.WithRecoverHandler(func(id zstream.QueryID, qsrc string) func(*zstream.Match) {
+					if !strings.Contains(qsrc, "WITHIN") {
+						t.Errorf("recover handler got src %q", qsrc)
+					}
+					return func(m *zstream.Match) { got = append(got, fmt.Sprintf("[%d..%d]%v", m.Start, m.End, m.Fields)) }
+				})),
+		}
+	}
+	rt, info, err := zstream.NewDurableRuntime(durOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Events != 0 || info.Queries != 0 {
+		t.Fatalf("fresh dir reported recovery: %+v", info)
+	}
+	if _, err := rt.Register(zstream.MustCompile(src), zstream.OnMatch(func(m *zstream.Match) {
+		got = append(got, fmt.Sprintf("[%d..%d]%v", m.Start, m.End, m.Fields))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:120] {
+		cp := *ev
+		if err := rt.Ingest(&cp); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := rt.Stats()
+	if !st.WALEnabled || st.WAL.AppendedEvents == 0 {
+		t.Fatalf("WAL stats not populated: %+v", st)
+	}
+	if len(rt.WALFaults()) != 0 {
+		t.Fatalf("unexpected WAL faults: %v", rt.WALFaults())
+	}
+
+	// Second run over the same directory recovers and resumes.
+	rt2, info2, err := zstream.NewDurableRuntime(durOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Queries != 1 || info2.LastSeq != 120 {
+		t.Fatalf("recovery info = %+v", info2)
+	}
+	if s := info2.String(); !strings.Contains(s, "queries=1") {
+		t.Fatalf("RecoverInfo.String() = %q", s)
+	}
+	feed(rt2, info2.LastSeq)
+
+	if len(got) != len(want) {
+		t.Fatalf("match count: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for events, used by the write-ahead log. The encoding is
+// schema-relative: an event is stored as a schema id (assigned per WAL
+// segment by the caller), the arrival Seq, the timestamp, and the value
+// vector. Integers use uvarint/zigzag-varint so the common small deltas
+// stay compact; floats are fixed 8-byte little-endian bits.
+//
+// Wire layout of one event:
+//
+//	uvarint schemaID
+//	uvarint seq
+//	varint  ts        (zigzag)
+//	per attribute (count taken from the schema):
+//	  byte kind
+//	  KindFloat:  8 bytes little-endian IEEE-754 bits
+//	  KindString: uvarint length + raw bytes
+//	  KindNull:   nothing
+//
+// Schemas themselves are serialized by EncodeSchema/DecodeSchema as
+// name + attribute list; decode reconstructs a fresh *Schema, so replayed
+// events of a stream share one schema pointer per decode session.
+
+// AppendEncoded appends the binary encoding of e to dst and returns the
+// extended slice. schemaID is the caller-assigned id for e.Schema.
+func AppendEncoded(dst []byte, e *Event, schemaID uint64) []byte {
+	dst = binary.AppendUvarint(dst, schemaID)
+	dst = binary.AppendUvarint(dst, e.Seq)
+	dst = binary.AppendVarint(dst, e.Ts)
+	for _, v := range e.Vals {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindFloat:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// Decode reads one encoded event from b. schemas maps schema ids (as
+// assigned at encode time) to schemas. It returns the decoded event, the
+// number of bytes consumed, and an error on malformed input. The returned
+// event is freshly allocated and safe to retain.
+func Decode(b []byte, schemas map[uint64]*Schema) (*Event, int, error) {
+	off := 0
+	sid, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("event: decode: bad schema id varint")
+	}
+	off += n
+	s, ok := schemas[sid]
+	if !ok {
+		return nil, 0, fmt.Errorf("event: decode: unknown schema id %d", sid)
+	}
+	seq, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("event: decode: bad seq varint")
+	}
+	off += n
+	ts, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("event: decode: bad ts varint")
+	}
+	off += n
+	vals := make([]Value, s.NumAttrs())
+	for i := range vals {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("event: decode: truncated value %d/%d", i, len(vals))
+		}
+		kind := Kind(b[off])
+		off++
+		switch kind {
+		case KindNull:
+			// zero Value
+		case KindFloat:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("event: decode: truncated float value")
+			}
+			vals[i] = Value{Kind: KindFloat, F: math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))}
+			off += 8
+		case KindString:
+			ln, n := binary.Uvarint(b[off:])
+			if n <= 0 {
+				return nil, 0, fmt.Errorf("event: decode: bad string length varint")
+			}
+			off += n
+			if ln > uint64(len(b)-off) {
+				return nil, 0, fmt.Errorf("event: decode: string length %d exceeds remaining %d bytes", ln, len(b)-off)
+			}
+			vals[i] = Value{Kind: KindString, S: string(b[off : off+int(ln)])}
+			off += int(ln)
+		default:
+			return nil, 0, fmt.Errorf("event: decode: unknown value kind %d", kind)
+		}
+	}
+	return &Event{Seq: seq, Ts: ts, Schema: s, Vals: vals}, off, nil
+}
+
+// AppendSchema appends the binary encoding of schema s (with id) to dst:
+// uvarint id, name, then the attribute list, each as uvarint length + raw
+// bytes.
+func AppendSchema(dst []byte, s *Schema, id uint64) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Name())))
+	dst = append(dst, s.Name()...)
+	dst = binary.AppendUvarint(dst, uint64(s.NumAttrs()))
+	for _, a := range s.Attrs() {
+		dst = binary.AppendUvarint(dst, uint64(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// DecodeSchema reads one encoded schema from b, returning the id, a freshly
+// constructed schema, and the number of bytes consumed.
+func DecodeSchema(b []byte) (uint64, *Schema, int, error) {
+	off := 0
+	id, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, nil, 0, fmt.Errorf("event: decode schema: bad id varint")
+	}
+	off += n
+	name, n, err := decodeString(b[off:])
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("event: decode schema: name: %w", err)
+	}
+	off += n
+	cnt, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, nil, 0, fmt.Errorf("event: decode schema: bad attr count varint")
+	}
+	off += n
+	if cnt > uint64(len(b)-off) {
+		// each attribute needs at least one length byte; reject early so a
+		// corrupted count cannot drive a huge allocation.
+		return 0, nil, 0, fmt.Errorf("event: decode schema: attr count %d exceeds remaining %d bytes", cnt, len(b)-off)
+	}
+	attrs := make([]string, cnt)
+	for i := range attrs {
+		a, n, err := decodeString(b[off:])
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("event: decode schema: attr %d: %w", i, err)
+		}
+		off += n
+		attrs[i] = a
+	}
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return id, s, off, nil
+}
+
+func decodeString(b []byte) (string, int, error) {
+	ln, n := binary.Uvarint(b)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("bad length varint")
+	}
+	if ln > uint64(len(b)-n) {
+		return "", 0, fmt.Errorf("length %d exceeds remaining %d bytes", ln, len(b)-n)
+	}
+	return string(b[n : n+int(ln)]), n + int(ln), nil
+}

@@ -1,0 +1,100 @@
+// The durability experiment is not from the paper: it prices the PR 9
+// durability plane — ingest throughput with the write-ahead log off versus
+// on under each fsync policy, on the standing-query fan-out workload.
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/runtime"
+	"repro/internal/wal"
+)
+
+// runDurable measures one WAL configuration: ingest the whole stream
+// through a durable sharded runtime and close it. Each rep logs into a
+// fresh directory under dir so recovery never kicks in mid-benchmark.
+func runDurable(qs []*query.Query, events []*event.Event, dir string, fsync wal.FsyncPolicy) (Run, error) {
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rep := 0
+	return measureBest(float64(len(events)), func() (func(), func() (uint64, float64), error) {
+		sub, err := os.MkdirTemp(dir, "rep")
+		if err != nil {
+			return nil, nil, err
+		}
+		rep++
+		rcfg := runtime.Config{
+			Shards: 4, PartitionBy: "name", BatchSize: 4096,
+			Durability: &runtime.DurConfig{Dir: sub, Fsync: fsync},
+		}
+		rt, _, err := runtime.NewDurable(rcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, q := range qs {
+			if _, err := rt.Register(q, ecfg, func(*core.Match) {}); err != nil {
+				rt.Close()
+				return nil, nil, err
+			}
+		}
+		pass := func() {
+			for _, ev := range events {
+				if rt.Ingest(ev) != nil {
+					panic("durability: ingest failed")
+				}
+			}
+			if rt.Close() != nil {
+				panic("durability: close failed")
+			}
+		}
+		stats := func() (uint64, float64) {
+			st := rt.Stats()
+			return st.Engine.Matches, float64(st.Engine.PeakMemBytes) / (1 << 20)
+		}
+		return pass, stats, nil
+	})
+}
+
+// Durability prices the write-ahead log on the 256-standing-query fan-out
+// workload: WAL off (the memory-only baseline) against fsync=off (log to
+// the OS page cache), fsync=interval (bounded sync lag) and fsync=batch
+// (sync per ingest flush). Expected shape: fsync=off within a small factor
+// of WAL-off (the log costs one encode+write per batch), fsync=batch
+// bounded by the disk's sync latency per flush.
+func Durability(scale Scale) (*Result, error) {
+	res := &Result{ID: "durability", Title: "durability plane: WAL off vs fsync policies (256 standing queries)", ShowThroughput: true}
+	n := scale.n(20_000)
+	events := FanoutEvents(n)
+	qs := FanoutQueries(256)
+	dir, err := os.MkdirTemp("", "zbench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	s := Series{Label: "256 queries"}
+	off, err := runFanout(qs, false, events)
+	if err != nil {
+		return nil, err
+	}
+	off.Plan = "wal-off"
+	s.Runs = append(s.Runs, off)
+	for _, def := range []struct {
+		name  string
+		fsync wal.FsyncPolicy
+	}{{"fsync-off", wal.FsyncOff}, {"fsync-interval", wal.FsyncInterval}, {"fsync-batch", wal.FsyncBatch}} {
+		run, err := runDurable(qs, events, dir, def.fsync)
+		if err != nil {
+			return nil, err
+		}
+		run.Plan = def.name
+		s.Runs = append(s.Runs, run)
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("expect: fsync-off within ~1.5x of wal-off; fsync-batch pays one fsync per %d-event flush", 4096))
+	return res, nil
+}

@@ -41,6 +41,16 @@ const (
 	SiteProducerBatch Site = "producer.batch"
 	// SiteEmit fires before a query's OnMatch callback runs on the merger.
 	SiteEmit Site = "emit"
+	// SiteWALAppend fires inside the WAL writer before an event-batch record
+	// is appended; an injected panic models a crash with a torn tail. The id
+	// is the number of batch records appended so far (1-based).
+	SiteWALAppend Site = "wal.append"
+	// SiteWALFsync fires before the WAL writer fsyncs a segment; the id is
+	// the number of fsyncs issued so far (1-based).
+	SiteWALFsync Site = "wal.fsync"
+	// SiteCheckpointWrite fires before a checkpoint record is written; the
+	// id is the number of checkpoints written so far (1-based).
+	SiteCheckpointWrite Site = "checkpoint.write"
 )
 
 // Action is what a rule does when it fires.

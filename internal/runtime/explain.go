@@ -477,6 +477,19 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 		p.val("zstream_ingest_shed_events_total", fmt.Sprintf(`{shard="%d"}`, i), n)
 	}
 
+	if m.Stats.WALEnabled || m.Stats.WALErrors > 0 {
+		p.family("zstream_wal_errors_total", "WAL append/fsync/checkpoint failures recorded.", "counter")
+		p.val("zstream_wal_errors_total", "", m.Stats.WALErrors)
+		p.family("zstream_wal_appended_events_total", "Events made durable in the write-ahead log.", "counter")
+		p.val("zstream_wal_appended_events_total", "", m.Stats.WAL.AppendedEvents)
+		p.family("zstream_wal_fsyncs_total", "fsync calls issued by the WAL writer.", "counter")
+		p.val("zstream_wal_fsyncs_total", "", m.Stats.WAL.Fsyncs)
+		p.family("zstream_wal_segments_total", "Segment files opened by the WAL writer.", "counter")
+		p.val("zstream_wal_segments_total", "", m.Stats.WAL.Segments)
+		p.family("zstream_wal_truncated_bytes_total", "Torn-tail bytes truncated during recovery scans.", "counter")
+		p.val("zstream_wal_truncated_bytes_total", "", uint64(m.Stats.WALTruncatedBytes))
+	}
+
 	p.family("zstream_router_events_total", "Events classified by the per-shard routers.", "counter")
 	p.val("zstream_router_events_total", "", m.Router.Events)
 	p.family("zstream_router_deliveries_total", "(subscriber, event) pairs yielded by the routers.", "counter")

@@ -16,6 +16,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/router"
+	"repro/internal/wal"
 )
 
 // QueryID identifies a registered query within one Runtime.
@@ -101,6 +102,11 @@ type Config struct {
 	// emit path (chaos tests only; production leaves it nil and pays one
 	// nil check per dispatch).
 	Injector *faultinject.Injector
+	// Durability, when non-nil, enables the write-ahead event log and
+	// batch-boundary checkpoints (see DurConfig). Durable runtimes are
+	// constructed with NewDurable, which also performs crash recovery;
+	// New ignores this field.
+	Durability *DurConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +164,17 @@ type Stats struct {
 	// EngineDeliveries / EventsIngested is the effective fan-out.
 	EngineDeliveries uint64
 	Engine           core.EngineStats
+	// WALEnabled reports whether the write-ahead log is configured AND
+	// still active (a WALDegrade error clears it); WALErrors counts WAL
+	// failures observed, WALSuppressed the replayed matches withheld at or
+	// below the recovered emit watermark, and WALTruncatedBytes the torn
+	// tail recovery cut from the log. WAL aggregates the writer's own
+	// counters (appends, fsyncs, segments, pruning).
+	WALEnabled        bool
+	WALErrors         uint64
+	WALSuppressed     uint64
+	WALTruncatedBytes int64
+	WAL               wal.WriterStats
 }
 
 // registered tracks one live query: which engine group it belongs to, and
@@ -168,6 +185,14 @@ type registered struct {
 	id          QueryID
 	key         groupKey
 	quarantined bool
+	// src, coreCfg, regSeq and window feed checkpoint records when the
+	// durability plane is on: the normalized query text, the engine config
+	// it was registered with, the ingest seq at registration, and the
+	// WITHIN window in ticks. Zero-valued when durability is off.
+	src     string
+	coreCfg core.Config
+	regSeq  uint64
+	window  int64
 }
 
 // groupKey identifies an engine group: the whole-query canonical
@@ -252,6 +277,39 @@ type Runtime struct {
 	// keeps send phases in mu-decision order and makes it impossible for
 	// a Register/Ingest send to race Close's channel close.
 	sendMu sync.Mutex
+
+	// Durability plane (all zero/nil when Config.Durability is off; see
+	// durable.go). wal is the write-ahead log writer; walPend mirrors the
+	// current flush's events in ingest order, appended as one batch record
+	// before the workers see them. walActive clears when a WAL error
+	// degrades the runtime to memory-only (WALDegrade policy). walSeed and
+	// walHash switch shard() to the deterministic replayable hash.
+	wal          *wal.Writer
+	walPend      []*event.Event
+	walActive    atomic.Bool
+	walSeed      uint64
+	walHash      bool
+	walErrs      atomic.Uint64
+	walFaultsMu  sync.Mutex
+	walFaults    []WALFault
+	walTruncated int64
+	sinceCkpt    int
+
+	// Merger-side exactly-once state: wmEnd/wmCount mirror the durable
+	// emit watermark (read by checkpoint assembly); suppressed counts
+	// replayed matches withheld at or below the recovered watermark. The
+	// sup* fields are the recovery-time suppression cursor, written before
+	// the merger can observe any match and then touched only on the merger
+	// goroutine. crashing tells workers to skip the final flush (crash
+	// simulation test hook).
+	wmEnd      atomic.Int64
+	wmCount    atomic.Uint64
+	suppressed atomic.Uint64
+	supEnd     int64
+	supCount   uint64
+	supSeen    uint64
+	supActive  bool
+	crashing   atomic.Bool
 }
 
 // New creates a Runtime and starts its worker and merger goroutines.
@@ -274,7 +332,7 @@ func New(cfg Config) *Runtime {
 	for i := 0; i < cfg.Shards; i++ {
 		w := &worker{id: i, in: make(chan shardMsg, cfg.QueueLen), delivered: &rt.engineDeliv,
 			byGID: map[int64]*engineGroup{}, byProdID: map[int64]*prodEntry{},
-			faults: rt.faults, inj: cfg.Injector}
+			faults: rt.faults, inj: cfg.Injector, crashing: &rt.crashing}
 		if !cfg.NaiveFanout {
 			w.router = router.New()
 		}
@@ -314,7 +372,23 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 		rt.reapFaultsLocked(true)
 	}
 	rt.nextID++
-	id := rt.nextID
+	id, err := rt.registerLocked(rt.nextID, q, cfg, emit)
+	if err == nil && rt.wal != nil && rt.walActive.Load() {
+		// A checkpoint at every registration boundary keeps the durable
+		// query set current; recovery re-registers at the recorded seq.
+		if werr := rt.noteWALError(rt.writeCheckpointLocked()); werr != nil {
+			// Fail-stop: the registration itself committed, but the runtime
+			// has lost durability — surface it.
+			return id, werr
+		}
+	}
+	return id, err
+}
+
+// registerLocked is the Register body, taking the id to assign so recovery
+// can re-register checkpointed queries under their original ids. Callers
+// hold mu.
+func (rt *Runtime) registerLocked(id QueryID, q *query.Query, cfg core.Config, emit func(*core.Match)) (QueryID, error) {
 	ts := rt.lastTs   // captured under mu: the op closures run unlocked
 	seq := rt.lastSeq // registration visibility barrier for shared readers
 
@@ -337,7 +411,7 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 	if gs := rt.groups[key]; gs != nil {
 		if gs.regSeq == rt.lastSeq {
 			gs.members++
-			rt.live[id] = &registered{id: id, key: key}
+			rt.live[id] = rt.newRegisteredLocked(id, key, q, cfg, seq)
 			rt.sendLocked(func(int) shardMsg {
 				return shardMsg{ts: ts, reg: &regOp{id: id, gid: gs.gid, emit: emit, seq: seq}}
 			})
@@ -421,7 +495,7 @@ func (rt *Runtime) Register(q *query.Query, cfg core.Config, emit func(*core.Mat
 	}
 	gs := &groupState{gid: int64(id), members: 1, regSeq: seq, engines: engines, prefixKey: prefixKey, consumer: consumer}
 	rt.groups[key] = gs
-	rt.live[id] = &registered{id: id, key: key}
+	rt.live[id] = rt.newRegisteredLocked(id, key, q, cfg, seq)
 
 	prods := newProds
 	routerInfo := q.Info
@@ -480,6 +554,13 @@ func (rt *Runtime) Unregister(id QueryID) error {
 	gs.members--
 	if gs.members == 0 {
 		rt.dropGroupLocked(reg.key, gs)
+	}
+	if rt.wal != nil && rt.walActive.Load() {
+		// Record the shrunken query set so recovery does not resurrect the
+		// unregistered query.
+		if werr := rt.noteWALError(rt.writeCheckpointLocked()); werr != nil {
+			return werr
+		}
 	}
 	return nil
 }
@@ -551,6 +632,11 @@ func (rt *Runtime) ingest(ctx context.Context, ev *event.Event) error {
 	rt.lastTs = ev.Ts
 	rt.lastSeq++
 	ev.Seq = rt.lastSeq
+	if rt.wal != nil && rt.walActive.Load() {
+		// Mirror the event in ingest order; the flush appends the mirror as
+		// one write-ahead batch record before any worker sees the events.
+		rt.walPend = append(rt.walPend, ev)
+	}
 	s := rt.shard(ev)
 	if rt.pending[s] == nil {
 		rt.pending[s] = event.GetBatch()
@@ -564,10 +650,16 @@ func (rt *Runtime) ingest(ctx context.Context, ev *event.Event) error {
 	return nil
 }
 
-// shard routes an event by hashing its partition-key attribute.
+// shard routes an event by hashing its partition-key attribute. Durable
+// runtimes use a deterministic hash under a persisted seed so recovery
+// replays events to exactly the shards that saw them originally; the
+// default random per-process maphash seed would scatter them.
 func (rt *Runtime) shard(ev *event.Event) int {
 	if rt.cfg.Shards == 1 {
 		return 0
+	}
+	if rt.walHash {
+		return durableShard(ev.Get(rt.cfg.PartitionBy), rt.walSeed, rt.cfg.Shards)
 	}
 	var h maphash.Hash
 	h.SetSeed(rt.hashSeed)
@@ -621,13 +713,26 @@ func (rt *Runtime) sendLockedCtx(ctx context.Context, op func(shard int) shardMs
 		rt.pending = make([][]*event.Event, rt.cfg.Shards)
 	}
 	rt.nPend = 0
+	var wp []*event.Event
+	if rt.wal != nil && len(rt.walPend) > 0 {
+		wp, rt.walPend = rt.walPend, nil
+	}
 
 	rt.sendMu.Lock()
 	rt.mu.Unlock()
 	var err error
+	var walErr error
+	if wp != nil {
+		// Write-ahead: the batch record must be durable (to the OS at
+		// least) before any worker can act on the events. Under fail-stop
+		// a failed append sheds the whole flush — the events were never
+		// durable, so they must not be processed either.
+		walErr = rt.wal.AppendBatch(wp)
+	}
+	failStop := walErr != nil && rt.cfg.Durability.OnWALError == WALFailStop
 	for i, w := range rt.workers {
 		if flush {
-			if err != nil {
+			if err != nil || failStop {
 				rt.shedBatch(i, batches[i])
 			} else if e := rt.sendBatch(ctx, w, i, shardMsg{events: batches[i], ts: ts}); e != nil {
 				err = e
@@ -644,6 +749,25 @@ func (rt *Runtime) sendLockedCtx(ctx context.Context, op func(shard int) shardMs
 	clear(batches)
 	if rt.pendingSpare == nil {
 		rt.pendingSpare = batches
+	}
+	if wp != nil {
+		nWAL := len(wp)
+		clear(wp)
+		if rt.walPend == nil {
+			rt.walPend = wp[:0]
+		}
+		if walErr != nil {
+			if werr := rt.noteWALError(walErr); werr != nil && err == nil {
+				err = werr
+			}
+		} else if rt.walActive.Load() {
+			rt.sinceCkpt += nWAL
+			if rt.sinceCkpt >= rt.cfg.Durability.CheckpointEvery {
+				if werr := rt.noteWALError(rt.writeCheckpointLocked()); werr != nil && err == nil {
+					err = werr
+				}
+			}
+		}
 	}
 	return err
 }
@@ -687,21 +811,40 @@ func (rt *Runtime) closeCtx(ctx context.Context) (DrainReport, error) {
 	flush := rt.nPend > 0 || ts != math.MinInt64/2
 	rt.pending = make([][]*event.Event, rt.cfg.Shards)
 	rt.nPend = 0
+	var wp []*event.Event
+	if rt.wal != nil && len(rt.walPend) > 0 {
+		wp, rt.walPend = rt.walPend, nil
+	}
 	shedBefore := rt.shedTotal()
 	// Channels are closed inside the sendMu phase, after any in-flight
 	// Register/Ingest send completes; closed (set under mu above) stops
 	// later callers before they reach a send.
 	rt.sendMu.Lock()
 	rt.mu.Unlock()
+	var walErr error
+	if wp != nil {
+		// The final flush obeys the same write-ahead discipline as every
+		// other one: log first, and under fail-stop shed what never became
+		// durable.
+		walErr = rt.wal.AppendBatch(wp)
+	}
+	walShed := walErr != nil && rt.cfg.Durability.OnWALError == WALFailStop
 	for i, w := range rt.workers {
 		if flush {
-			// Past the deadline sendBatch sheds rather than blocks; the
-			// channels are closed regardless, so workers always terminate.
-			_ = rt.sendBatch(ctx, w, i, shardMsg{events: batches[i], ts: ts})
+			if walShed {
+				rt.shedBatch(i, batches[i])
+			} else {
+				// Past the deadline sendBatch sheds rather than blocks; the
+				// channels are closed regardless, so workers always terminate.
+				_ = rt.sendBatch(ctx, w, i, shardMsg{events: batches[i], ts: ts})
+			}
 		}
 		close(w.in)
 	}
 	rt.sendMu.Unlock()
+	if walErr != nil {
+		_ = rt.noteWALError(walErr)
+	}
 	rep := DrainReport{}
 	var err error
 	select {
@@ -709,6 +852,19 @@ func (rt *Runtime) closeCtx(ctx context.Context) (DrainReport, error) {
 		rep.Complete = true
 	case <-done:
 		err = ctx.Err()
+	}
+	if rt.wal != nil && rep.Complete {
+		// Merger drained: the emit watermark covers every delivered match.
+		// A final checkpoint at the closed position makes a clean restart
+		// replay-and-suppress everything (no duplicate output).
+		rt.mu.Lock()
+		if rt.walActive.Load() {
+			_ = rt.noteWALError(rt.writeCheckpointLocked())
+		}
+		rt.mu.Unlock()
+		if cerr := rt.noteWALError(rt.wal.Close()); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	rep.EventsShed = rt.shedTotal() - shedBefore
 	return rep, err
@@ -774,5 +930,12 @@ func (rt *Runtime) Stats() Stats {
 		st.Engine.PeakMemBytes += s.PeakMemBytes
 		st.Engine.Events += s.Events
 	}
+	if rt.wal != nil {
+		st.WALEnabled = rt.walActive.Load()
+		st.WAL = rt.wal.Stats()
+	}
+	st.WALErrors = rt.walErrs.Load()
+	st.WALSuppressed = rt.suppressed.Load()
+	st.WALTruncatedBytes = rt.walTruncated
 	return st
 }

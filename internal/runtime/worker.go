@@ -14,6 +14,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/router"
 	"repro/internal/slicepool"
+	"repro/internal/wal"
 )
 
 // shardMsg is one unit of work on a worker's input queue: a batch of
@@ -178,6 +179,11 @@ type worker struct {
 	delivered *atomic.Uint64 // runtime-wide (engine, event) delivery counter
 	faults    *faultSink
 	inj       *faultinject.Injector // nil in production
+	// crashing, when set, tells the worker its input channel was closed by
+	// a simulated crash, not a graceful Close: skip the final flush (a
+	// crash cannot confirm trailing negations) and exit without advancing
+	// the watermark. Test hook for the crash-recovery differential suite.
+	crashing *atomic.Bool
 
 	slots    []*querySlot
 	groups   []*engineGroup // creation order (deterministic naive fan-out)
@@ -714,6 +720,15 @@ func (w *worker) run(out chan<- mergeMsg) {
 		out <- mergeMsg{shard: w.id, matches: batch, watermark: wm, final: false}
 	}
 
+	// Simulated crash: no final flush — a real crash cannot confirm the
+	// trailing negations and closures a flush would emit, and recovery
+	// must be free to veto them. The non-advancing watermark keeps the
+	// merger from releasing anything more on this shard's account.
+	if w.crashing != nil && w.crashing.Load() {
+		out <- mergeMsg{shard: w.id, matches: getMatchBatch(), watermark: math.MinInt64, final: true}
+		return
+	}
+
 	// Close: final flush confirms trailing negations and closures; after
 	// it no shard match is outstanding, so the watermark jumps to +inf.
 	// Producers flush first so consumer flushes observe every partial
@@ -803,6 +818,7 @@ func (rt *Runtime) runMerger() {
 	}
 	var h matchHeap
 	var skip map[QueryID]bool // queries whose OnMatch panicked
+	var round []pendingMatch  // reused release scratch (zero steady-state allocs)
 	finals := 0
 	release := func() {
 		min := wms[0]
@@ -813,19 +829,71 @@ func (rt *Runtime) runMerger() {
 		}
 		// Strictly below the watermark: a shard at watermark W may still
 		// produce a match ending exactly at W.
+		round = round[:0]
 		for len(h) > 0 && h[0].end < min {
 			pm := h.pop()
 			if skip != nil && skip[pm.id] {
 				continue
 			}
+			if rt.supActive {
+				// Crash recovery: suppress replayed matches at or below the
+				// recovered durable emit watermark — they were delivered
+				// before the crash. Matches release in non-decreasing end
+				// order, so once one passes the watermark the cursor is done.
+				if pm.end < rt.supEnd || (pm.end == rt.supEnd && rt.supSeen < rt.supCount) {
+					if pm.end == rt.supEnd {
+						rt.supSeen++
+					}
+					rt.suppressed.Add(1)
+					continue
+				}
+				rt.supActive = false
+			}
+			round = append(round, pm)
+		}
+		if len(round) == 0 {
+			return
+		}
+		if rt.wal != nil {
+			// Exactly-once boundary: advance and persist the emit watermark
+			// BEFORE any callback runs, so a crash mid-round suppresses the
+			// whole round on replay (matches may be lost to the crash, never
+			// duplicated). Ends are non-decreasing across rounds, so the
+			// (end, count) pair totals every match delivered so far.
+			end, cnt := rt.wmEnd.Load(), rt.wmCount.Load()
+			for i := range round {
+				if round[i].end > end {
+					end, cnt = round[i].end, 1
+				} else {
+					cnt++
+				}
+			}
+			if rt.walActive.Load() {
+				if rt.noteWALError(rt.wal.WriteEmitWM(wal.EmitWM{End: end, Count: cnt})) != nil {
+					// Fail-stop and the watermark did not become durable:
+					// delivering now would double-deliver after recovery
+					// (replay would not suppress these matches). Drop the
+					// round — every constituent event is already durably
+					// logged ahead of the engines, so replay rebuilds and
+					// delivers these matches itself.
+					clear(round)
+					return
+				}
+			}
+			rt.wmEnd.Store(end)
+			rt.wmCount.Store(cnt)
+		}
+		for i := range round {
+			pm := &round[i]
 			rt.delivered.Add(1)
-			if pm.emit != nil && !rt.emitMatch(&pm) {
+			if pm.emit != nil && !rt.emitMatch(pm) {
 				if skip == nil {
 					skip = map[QueryID]bool{}
 				}
 				skip[pm.id] = true
 			}
 		}
+		clear(round)
 	}
 	for msg := range rt.mergeCh {
 		for _, pm := range msg.matches {

@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/faultinject"
+)
+
+// mkEvents builds n stock events with seqs starting at seq0.
+func mkEvents(seq0 uint64, n int) []*event.Event {
+	evs := make([]*event.Event, n)
+	for i := range evs {
+		evs[i] = event.NewStock(seq0+uint64(i), int64(seq0)+int64(i), int64(i), "IBM", float64(10+i), 1)
+	}
+	return evs
+}
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Options{Dir: dir, Fsync: FsyncBatch}, Meta{Seed: 42, Shards: 2, PartitionBy: "name"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(mkEvents(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(mkEvents(11, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEmitWM(EmitWM{End: 7, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cp := Checkpoint{
+		Queries: []QueryCheckpoint{{ID: 1, Src: "PATTERN A RETURN A", RegSeq: 0, Core: CoreConfig{Strategy: 1, BatchSize: 256}}},
+		LastSeq: 15, LastTs: 15, EmitEnd: 7, EmitCount: 2, MaxWindow: 100,
+	}
+	if err := w.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.AppendedEvents != 15 || st.AppendedBatches != 2 || st.Segments != 1 || st.Checkpoints != 1 {
+		t.Fatalf("writer stats = %+v", st)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatalf("expected fsyncs under FsyncBatch, got %+v", st)
+	}
+
+	res, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta == nil || res.Meta.Seed != 42 || res.Meta.Shards != 2 || res.Meta.PartitionBy != "name" {
+		t.Fatalf("meta = %+v", res.Meta)
+	}
+	if res.Events != 15 || res.Batches != 2 || res.LastSeq != 15 || res.LastTs != 15 {
+		t.Fatalf("scan = %+v", res)
+	}
+	if !res.HaveWM || res.WM != (EmitWM{End: 7, Count: 2}) {
+		t.Fatalf("wm = %+v have=%v", res.WM, res.HaveWM)
+	}
+	if res.Checkpoint == nil || len(res.Checkpoint.Queries) != 1 || res.Checkpoint.Queries[0].Src != "PATTERN A RETURN A" {
+		t.Fatalf("checkpoint = %+v", res.Checkpoint)
+	}
+	if res.TruncatedBytes != 0 {
+		t.Fatalf("unexpected truncation: %d bytes", res.TruncatedBytes)
+	}
+
+	var got []uint64
+	var batches int
+	err = Replay(dir, 0, func(evs []*event.Event) error {
+		batches++
+		for _, e := range evs {
+			got = append(got, e.Seq)
+			if e.Schema.Name() != "Stocks" || e.Get("name").S != "IBM" {
+				t.Fatalf("bad replayed event %v", e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 2 || len(got) != 15 || got[0] != 1 || got[14] != 15 {
+		t.Fatalf("replayed %d batches, seqs %v", batches, got)
+	}
+	// horizon skips the first batch (max ts 10 < 11)
+	batches = 0
+	if err := Replay(dir, 11, func(evs []*event.Event) error { batches++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 {
+		t.Fatalf("horizon replay got %d batches, want 1", batches)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Options{Dir: dir, Fsync: FsyncOff}, Meta{Seed: 1, Shards: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(mkEvents(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	w.CloseNoSync()
+	path := filepath.Join(dir, SegmentName(1))
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// append garbage: a partial frame header
+	if err := os.WriteFile(path, append(clean, 0xde, 0xad, 0xbe), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruncatedBytes != 3 || res.Events != 8 {
+		t.Fatalf("scan after tear = %+v", res)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != len(clean) {
+		t.Fatalf("truncate left %d bytes, want %d", len(fixed), len(clean))
+	}
+	// corrupting a middle byte of the only (final) segment truncates from
+	// the corrupt frame onward, keeping the prefix
+	bad := append([]byte(nil), clean...)
+	bad[len(bad)-10] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruncatedBytes == 0 {
+		t.Fatalf("expected truncation, got %+v", res)
+	}
+}
+
+func TestTornMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Options{Dir: dir, Fsync: FsyncOff, SegmentBytes: 256}, Meta{Seed: 1, Shards: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.AppendBatch(mkEvents(uint64(1+i*4), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Segments < 2 {
+		t.Fatalf("expected rotation, stats = %+v", w.Stats())
+	}
+	// corrupt the FIRST segment: must fail the scan, not truncate
+	path := filepath.Join(dir, SegmentName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scan(dir); err == nil {
+		t.Fatal("scan of corrupt non-final segment should fail")
+	}
+}
+
+func TestRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Options{Dir: dir, Fsync: FsyncOff, SegmentBytes: 512}, Meta{Seed: 9, Shards: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := w.AppendBatch(mkEvents(uint64(1+i*8), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a checkpoint whose horizon (min(LastTs, EmitEnd) − MaxWindow) passes
+	// most segments; EmitEnd tracks LastTs here, as it does once the merger
+	// is caught up
+	if err := w.WriteCheckpoint(Checkpoint{LastSeq: 96, LastTs: 96, EmitEnd: 96, EmitCount: 1, MaxWindow: 10}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatalf("expected pruned segments, stats = %+v", w.Stats())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// the pruned log must still scan cleanly and retain the checkpoint
+	res, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint == nil || res.Checkpoint.LastSeq != 96 {
+		t.Fatalf("checkpoint lost after prune: %+v", res.Checkpoint)
+	}
+	// all events at or past the horizon must still be replayable
+	horizon := int64(96 - 10)
+	seen := 0
+	if err := Replay(dir, horizon, func(evs []*event.Event) error { seen += len(evs); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("no events at horizon after prune")
+	}
+}
+
+func TestSimulatedCrashSites(t *testing.T) {
+	for _, site := range []faultinject.Site{faultinject.SiteWALAppend, faultinject.SiteWALFsync, faultinject.SiteCheckpointWrite} {
+		t.Run(string(site), func(t *testing.T) {
+			dir := t.TempDir()
+			nth := uint64(2)
+			if site == faultinject.SiteCheckpointWrite {
+				nth = 1
+			}
+			inj := faultinject.New().Arm(faultinject.Rule{Site: site, Shard: faultinject.AnyShard, Nth: nth, Act: faultinject.ActPanic})
+			w, err := NewWriter(Options{Dir: dir, Fsync: FsyncBatch, Injector: inj}, Meta{Seed: 3, Shards: 1}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var werr error
+			for i := 0; i < 4 && werr == nil; i++ {
+				werr = w.AppendBatch(mkEvents(uint64(1+i*4), 4))
+				if werr == nil && i == 1 {
+					werr = w.WriteCheckpoint(Checkpoint{LastSeq: uint64(8), LastTs: 8})
+				}
+			}
+			if werr == nil {
+				t.Fatal("expected a simulated crash error")
+			}
+			var we *Error
+			if !errors.As(werr, &we) || !we.Simulated {
+				t.Fatalf("want simulated *wal.Error, got %v", werr)
+			}
+			var inje *faultinject.Injected
+			if !errors.As(werr, &inje) || inje.Site != site {
+				t.Fatalf("cause = %v, want injected at %s", werr, site)
+			}
+			// sticky: later ops return the same error
+			if err := w.AppendBatch(mkEvents(100, 1)); err == nil {
+				t.Fatal("writer should stay failed")
+			}
+			w.CloseNoSync()
+			// recovery: scan succeeds, truncating any torn tail
+			res, err := Scan(dir)
+			if err != nil {
+				t.Fatalf("scan after %s crash: %v", site, err)
+			}
+			if res.Events == 0 {
+				t.Fatalf("no durable events after %s crash", site)
+			}
+			if site == faultinject.SiteWALAppend && res.TruncatedBytes == 0 {
+				t.Fatal("append crash should leave a torn tail")
+			}
+		})
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncBatch, FsyncInterval, FsyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := NewWriter(Options{Dir: dir, Fsync: pol}, Meta{Seed: 5, Shards: 1}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := w.AppendBatch(mkEvents(uint64(1+i*2), 2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := w.Stats()
+			switch pol {
+			case FsyncBatch:
+				if st.Fsyncs < 3 {
+					t.Fatalf("batch policy: %d fsyncs, want >=3", st.Fsyncs)
+				}
+			case FsyncOff:
+				if st.Fsyncs != 0 {
+					t.Fatalf("off policy issued %d fsyncs", st.Fsyncs)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Scan(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Events != 6 {
+				t.Fatalf("scan events = %d, want 6", res.Events)
+			}
+		})
+	}
+}
+
+func TestScanFreshDir(t *testing.T) {
+	res, err := Scan(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 0 || res.Meta != nil || res.Events != 0 {
+		t.Fatalf("fresh scan = %+v", res)
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	e := event.MustNew(event.MustSchema("S", "a", "b", "c"), -17, event.Float(3.25), event.Str("héllo"), event.Null())
+	e.Seq = 999
+	var b []byte
+	b = event.AppendEncoded(b, e, 7)
+	got, n, err := event.Decode(b, map[uint64]*event.Schema{7: e.Schema})
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if got.Seq != 999 || got.Ts != -17 || !got.Vals[0].Equal(e.Vals[0]) || !got.Vals[1].Equal(e.Vals[1]) || !got.Vals[2].IsNull() {
+		t.Fatalf("roundtrip mismatch: %v", got)
+	}
+	var sb []byte
+	sb = event.AppendSchema(sb, e.Schema, 7)
+	id, s2, sn, err := event.DecodeSchema(sb)
+	if err != nil || sn != len(sb) || id != 7 || s2.Name() != "S" || s2.NumAttrs() != 3 {
+		t.Fatalf("schema roundtrip: id=%d s=%v n=%d err=%v", id, s2, sn, err)
+	}
+}
+
+func TestWriterResumeSegmentNumbering(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(Options{Dir: dir, Fsync: FsyncOff}, Meta{Seed: 4, Shards: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(mkEvents(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a recovered writer starts one past the scanned tail and must not
+	// clobber the old segment
+	w2, err := NewWriter(Options{Dir: dir, Fsync: FsyncOff}, Meta{Seed: 4, Shards: 1}, res.LastSeg+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendBatch(mkEvents(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Segments != 2 || res2.Events != 6 || res2.LastSeq != 6 {
+		t.Fatalf("resumed scan = %+v", res2)
+	}
+}

@@ -1,0 +1,504 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/faultinject"
+)
+
+// errClosed reports use of a closed writer.
+var errClosed = errors.New("writer closed")
+
+// Options configures a Writer.
+type Options struct {
+	// Dir is the log directory; created if absent.
+	Dir string
+	// Fsync selects the sync policy (default FsyncBatch).
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval period (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes is the rotation threshold (default 64 MiB).
+	SegmentBytes int64
+	// Injector, when non-nil, is consulted at the wal.append / wal.fsync /
+	// checkpoint.write crash sites; an injected panic is converted into a
+	// simulated crash (torn tail + Error{Simulated: true}).
+	Injector *faultinject.Injector
+}
+
+// WriterStats counts a writer's durable work, mirrored into the runtime's
+// Stats and Prometheus metrics.
+type WriterStats struct {
+	// AppendedEvents counts events appended in batch records.
+	AppendedEvents uint64
+	// AppendedBatches counts batch records appended.
+	AppendedBatches uint64
+	// Fsyncs counts explicit segment syncs.
+	Fsyncs uint64
+	// Checkpoints counts checkpoint records written.
+	Checkpoints uint64
+	// Segments counts segment files created by this writer.
+	Segments uint64
+	// PrunedSegments counts segment files removed by retention pruning.
+	PrunedSegments uint64
+	// Bytes counts payload+frame bytes written across all segments.
+	Bytes int64
+}
+
+// segInfo is a closed segment awaiting pruning.
+type segInfo struct {
+	ord   uint64
+	path  string
+	maxTs int64
+}
+
+// Writer is the append side of the log: one active segment, buffered
+// frame writes flushed to the OS per record (so a process crash loses at
+// most the in-flight record), fsync per Options.Fsync. Safe for use from
+// the ingest path and the merger concurrently.
+type Writer struct {
+	mu   sync.Mutex
+	opts Options
+	meta Meta
+
+	f        *os.File
+	buf      *bufio.Writer
+	seg      uint64
+	segBytes int64
+	maxTs    int64
+
+	closed      []segInfo
+	lastCkpt    Checkpoint
+	lastCkptSeg uint64
+
+	schemaIDs map[*event.Schema]uint64
+	schemas   []*event.Schema
+	scratch   []byte
+	lastSync  time.Time
+
+	stats WriterStats
+	err   error
+
+	appendHits int64
+	fsyncHits  int64
+	ckptHits   int64
+}
+
+// NewWriter opens a writer in opts.Dir, creating the directory if needed,
+// starting at segment ordinal startSeg (1 for a fresh log; one past the
+// last scanned segment after recovery). meta's Seed/Shards/PartitionBy are
+// stamped into every segment header.
+func NewWriter(opts Options, meta Meta, startSeg uint64) (*Writer, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 50 * time.Millisecond
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if startSeg == 0 {
+		startSeg = 1
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, &Error{Op: "open", Path: opts.Dir, Err: err}
+	}
+	meta.Version = FormatVersion
+	w := &Writer{
+		opts:      opts,
+		meta:      meta,
+		seg:       startSeg,
+		schemaIDs: make(map[*event.Schema]uint64),
+		lastSync:  time.Now(),
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// path returns the active segment's file path.
+func (w *Writer) path() string { return filepath.Join(w.opts.Dir, SegmentName(w.seg)) }
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Err returns the writer's sticky error, if it has failed.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// hit consults the injector at a crash site, converting an injected panic
+// into a returned *faultinject.Injected so callers can simulate a crash.
+func (w *Writer) hit(site faultinject.Site, id int64) (injected *faultinject.Injected) {
+	defer func() {
+		if r := recover(); r != nil {
+			inj, ok := r.(*faultinject.Injected)
+			if !ok {
+				panic(r)
+			}
+			injected = inj
+		}
+	}()
+	w.opts.Injector.Hit(site, faultinject.AnyShard, id)
+	return nil
+}
+
+// openSegmentLocked creates the active segment file and writes its
+// self-contained header: magic, meta record, and the full schema
+// dictionary so far.
+func (w *Writer) openSegmentLocked() error {
+	f, err := os.OpenFile(w.path(), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return &Error{Op: "open", Path: w.path(), Err: err}
+	}
+	w.f = f
+	if w.buf == nil {
+		w.buf = bufio.NewWriterSize(f, 64<<10)
+	} else {
+		w.buf.Reset(f)
+	}
+	w.segBytes = 0
+	w.maxTs = minTs
+	w.stats.Segments++
+	if _, err := w.buf.Write(Magic[:]); err != nil {
+		return w.fail("open", err)
+	}
+	w.segBytes += int64(len(Magic))
+	w.meta.Segment = w.seg
+	body, err := json.Marshal(w.meta)
+	if err != nil {
+		return w.fail("open", err)
+	}
+	if err := w.writeFrameLocked(TMeta, body); err != nil {
+		return w.fail("open", err)
+	}
+	for i, s := range w.schemas {
+		w.scratch = event.AppendSchema(w.scratch[:0], s, uint64(i+1))
+		if err := w.writeFrameLocked(TSchema, w.scratch); err != nil {
+			return w.fail("open", err)
+		}
+	}
+	return nil
+}
+
+// minTs is the "no events yet" segment max-timestamp sentinel.
+const minTs = int64(-1) << 62
+
+// fail records the writer's first error and returns it; all later
+// operations return the same error.
+func (w *Writer) fail(op string, cause error) error {
+	e := &Error{Op: op, Path: w.path(), Err: cause}
+	if inj, ok := cause.(*faultinject.Injected); ok && inj != nil {
+		e.Simulated = true
+	}
+	if w.err == nil {
+		w.err = e
+	}
+	return w.err
+}
+
+// writeFrameLocked appends one [len][crc][type+body] frame and flushes it
+// to the OS.
+func (w *Writer) writeFrameLocked(typ byte, body []byte) error {
+	n := len(body) + 1
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	tb := [1]byte{typ}
+	crc := crc32.Update(0, castagnoli, tb[:])
+	crc = crc32.Update(crc, castagnoli, body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.buf.WriteByte(typ); err != nil {
+		return err
+	}
+	if _, err := w.buf.Write(body); err != nil {
+		return err
+	}
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	w.segBytes += int64(frameHeaderSize + n)
+	w.stats.Bytes += int64(frameHeaderSize + n)
+	return nil
+}
+
+// tearTailLocked simulates a crash mid-write: it writes the frame header
+// and roughly half the payload, flushes, and leaves the segment with a
+// torn tail for recovery to truncate.
+func (w *Writer) tearTailLocked(typ byte, body []byte) {
+	n := len(body) + 1
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	tb := [1]byte{typ}
+	crc := crc32.Update(0, castagnoli, tb[:])
+	crc = crc32.Update(crc, castagnoli, body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	_, _ = w.buf.Write(hdr[:])
+	_ = w.buf.WriteByte(typ)
+	_, _ = w.buf.Write(body[:len(body)/2])
+	_ = w.buf.Flush()
+}
+
+// AppendBatch appends one ingest flush as a single batch record, emitting
+// schema-dictionary records for any schemas not yet seen. Called on the
+// ingest path BEFORE the batch is handed to shard workers (write-ahead
+// ordering).
+func (w *Writer) AppendBatch(events []*event.Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return w.fail("append", errClosed)
+	}
+	for _, e := range events {
+		if _, ok := w.schemaIDs[e.Schema]; !ok {
+			id := uint64(len(w.schemas) + 1)
+			w.schemaIDs[e.Schema] = id
+			w.schemas = append(w.schemas, e.Schema)
+			w.scratch = event.AppendSchema(w.scratch[:0], e.Schema, id)
+			if err := w.writeFrameLocked(TSchema, w.scratch); err != nil {
+				return w.fail("append", err)
+			}
+		}
+	}
+	w.scratch = w.scratch[:0]
+	for _, e := range events {
+		w.scratch = event.AppendEncoded(w.scratch, e, w.schemaIDs[e.Schema])
+		if e.Ts > w.maxTs {
+			w.maxTs = e.Ts
+		}
+	}
+	w.appendHits++
+	if inj := w.hit(faultinject.SiteWALAppend, w.appendHits); inj != nil {
+		w.tearTailLocked(TBatch, w.scratch)
+		return w.fail("append", inj)
+	}
+	if err := w.writeFrameLocked(TBatch, w.scratch); err != nil {
+		return w.fail("append", err)
+	}
+	w.stats.AppendedBatches++
+	w.stats.AppendedEvents += uint64(len(events))
+	if err := w.maybeSyncLocked(); err != nil {
+		return err
+	}
+	return w.maybeRotateLocked()
+}
+
+// WriteCheckpoint appends a checkpoint record. Checkpoints are synced
+// immediately under the batch and interval policies (they are rare and
+// gate pruning), and unlock retention pruning of older segments.
+func (w *Writer) WriteCheckpoint(cp Checkpoint) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return w.fail("checkpoint", errClosed)
+	}
+	body, err := json.Marshal(cp)
+	if err != nil {
+		return w.fail("checkpoint", err)
+	}
+	w.ckptHits++
+	if inj := w.hit(faultinject.SiteCheckpointWrite, w.ckptHits); inj != nil {
+		w.tearTailLocked(TCheckpoint, body)
+		return w.fail("checkpoint", inj)
+	}
+	if err := w.writeFrameLocked(TCheckpoint, body); err != nil {
+		return w.fail("checkpoint", err)
+	}
+	w.stats.Checkpoints++
+	w.lastCkpt = cp
+	w.lastCkptSeg = w.seg
+	if w.opts.Fsync != FsyncOff {
+		if err := w.syncLocked("checkpoint"); err != nil {
+			return err
+		}
+	}
+	return w.maybeRotateLocked()
+}
+
+// WriteEmitWM appends the merger's durable emit watermark and syncs it
+// per the fsync policy. Under FsyncBatch the watermark is durable before
+// this returns, which is what makes suppression-based replay exactly-once
+// across an OS crash; for a plain process crash the flushed record is
+// already safe in the page cache under every policy.
+func (w *Writer) WriteEmitWM(wm EmitWM) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return w.fail("emitwm", errClosed)
+	}
+	w.scratch = binary.AppendVarint(w.scratch[:0], wm.End)
+	w.scratch = binary.AppendUvarint(w.scratch, wm.Count)
+	if err := w.writeFrameLocked(TEmitWM, w.scratch); err != nil {
+		return w.fail("emitwm", err)
+	}
+	if err := w.maybeSyncLocked(); err != nil {
+		return err
+	}
+	return w.maybeRotateLocked()
+}
+
+// maybeSyncLocked applies the fsync policy after an append.
+func (w *Writer) maybeSyncLocked() error {
+	switch w.opts.Fsync {
+	case FsyncBatch:
+		return w.syncLocked("fsync")
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.opts.SyncEvery {
+			return w.syncLocked("fsync")
+		}
+	}
+	return nil
+}
+
+// syncLocked fsyncs the active segment, consulting the wal.fsync crash
+// site first.
+func (w *Writer) syncLocked(op string) error {
+	w.fsyncHits++
+	if inj := w.hit(faultinject.SiteWALFsync, w.fsyncHits); inj != nil {
+		return w.fail(op, inj)
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(op, err)
+	}
+	w.stats.Fsyncs++
+	w.lastSync = time.Now()
+	return nil
+}
+
+// maybeRotateLocked closes the active segment and opens the next one when
+// the rotation threshold is crossed. The closed segment is synced so
+// retention never removes the only durable copy of an unsynced tail's
+// predecessor.
+func (w *Writer) maybeRotateLocked() error {
+	if w.segBytes < w.opts.SegmentBytes {
+		return nil
+	}
+	if err := w.syncLocked("rotate"); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return w.fail("rotate", err)
+	}
+	w.closed = append(w.closed, segInfo{ord: w.seg, path: w.path(), maxTs: w.maxTs})
+	w.f = nil
+	w.seg++
+	return w.openSegmentLocked()
+}
+
+// Prune removes closed segments wholly behind the recovery horizon of the
+// last durable checkpoint, and strictly older than the segment holding
+// that checkpoint. The horizon is min(LastTs, EmitEnd) − MaxWindow: the
+// emit-watermark clamp keeps every event a pending (not yet durably
+// emitted) match could still reference, since a match ending just above
+// EmitEnd spans back to EmitEnd − window. The active segment is never
+// pruned. Returns the number of segment files removed.
+func (w *Writer) Prune() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lastCkptSeg == 0 {
+		return 0, nil
+	}
+	base := w.lastCkpt.LastTs
+	if w.lastCkpt.EmitEnd < base {
+		base = w.lastCkpt.EmitEnd
+	}
+	if base <= minTs {
+		// No emit watermark yet (EmitEnd is the MinInt64 sentinel): every
+		// match is still pending, so every event is still in the horizon.
+		return 0, nil
+	}
+	horizon := base - w.lastCkpt.MaxWindow
+	removed := 0
+	keep := w.closed[:0]
+	for _, si := range w.closed {
+		if si.ord < w.lastCkptSeg && si.maxTs < horizon {
+			if err := os.Remove(si.path); err != nil {
+				w.closed = append(keep, w.closed[removed:]...)
+				return removed, &Error{Op: "prune", Path: si.path, Err: err}
+			}
+			removed++
+			w.stats.PrunedSegments++
+			continue
+		}
+		keep = append(keep, si)
+	}
+	w.closed = keep
+	return removed, nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return w.fail("fsync", errClosed)
+	}
+	return w.syncLocked("fsync")
+}
+
+// Close flushes, syncs and closes the active segment.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var first error
+	if w.err == nil {
+		if err := w.buf.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := w.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := w.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	w.f = nil
+	if first != nil {
+		return w.fail("close", first)
+	}
+	return nil
+}
+
+// CloseNoSync closes the active segment without syncing: the crash
+// simulator's exit path. Flushed records survive (they are in the OS page
+// cache, exactly as after kill -9); nothing new is made durable.
+func (w *Writer) CloseNoSync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return
+	}
+	_ = w.buf.Flush()
+	_ = w.f.Close()
+	w.f = nil
+}
