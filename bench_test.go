@@ -582,6 +582,26 @@ func BenchmarkRuntimeFanoutShared(b *testing.B) {
 	})
 }
 
+// BenchmarkRuntimeThresholdFamily is the PR 10 headline: 256 standing
+// queries that differ only in their range-atom constants, run with the
+// gen-1 router (every distinct threshold is an interned residual evaluated
+// per event) versus the gen-2 sorted-threshold dispatch (one binary search
+// per event per direction, cost independent of the threshold count).
+func BenchmarkRuntimeThresholdFamily(b *testing.B) {
+	qs := experiments.ThresholdQueries(256)
+	events := experiments.ThresholdEvents(20000)
+	ecfg := core.Config{Strategy: core.StrategyLeftDeep, BatchSize: 256}
+	rcfg := runtimepkg.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096}
+	b.Run("gen1-residual-256", func(b *testing.B) {
+		cfg := rcfg
+		cfg.NoRangeDispatch = true
+		benchRuntimeCfg(b, qs, cfg, ecfg, events)
+	})
+	b.Run("gen2-range-256", func(b *testing.B) {
+		benchRuntimeCfg(b, qs, rcfg, ecfg, events)
+	})
+}
+
 // BenchmarkRuntimeFanoutScaling sweeps the standing-query count with the
 // router on: events/s should degrade far slower than 1/Q because per-event
 // work is O(matching engines + dispatch), not O(Q).

@@ -66,6 +66,7 @@ var registry = []struct {
 	{"fanout", experiments.Fanout, "multi-query fan-out: predicate router vs naive deliver-to-all"},
 	{"durability", experiments.Durability, "durability plane: WAL off vs fsync policies"},
 	{"fanout-shared", experiments.FanoutShared, "cross-query shared-subplan execution vs unshared"},
+	{"threshold-family", experiments.ThresholdFamily, "range-atom dispatch: sorted-threshold tables vs interned residuals"},
 }
 
 // Doc is the -json output document ("zstream-bench/v1"). It deliberately

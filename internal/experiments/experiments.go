@@ -199,7 +199,8 @@ func All(scale Scale) ([]*Result, error) {
 	type fn func(Scale) (*Result, error)
 	fns := []fn{Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Table3, Fig14,
 		Fig15, Fig16, Table4Exp, Fig17, Table5, OptimizerTiming,
-		AblationHash, AblationEAT, AblationBatchSize, Fanout, FanoutShared}
+		AblationHash, AblationEAT, AblationBatchSize, Fanout, FanoutShared,
+		ThresholdFamily}
 	var out []*Result
 	for _, f := range fns {
 		r, err := f(scale)

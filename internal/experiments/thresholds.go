@@ -1,0 +1,82 @@
+// The threshold-family experiment is not from the paper: it measures the
+// PR 10 generation-2 router — range-atom dispatch via per-schema
+// sorted-threshold tables — against the generation-1 behavior where every
+// distinct comparison constant costs one interned-residual evaluation per
+// event.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/runtime"
+	"repro/internal/workload"
+)
+
+// ThresholdQueries builds n threshold-alert queries that differ only in
+// their comparison constants: both classes are range atoms, every constant
+// is pairwise distinct (no whole-query dedupe, no shared prefixes), and the
+// thresholds sit near the price extremes so admissions are rare — the run
+// measures router classification cost, not engine work. bench_test.go and
+// the threshold-family experiment share them so the local benchmark and the
+// committed baseline cannot drift.
+func ThresholdQueries(n int) []*query.Query {
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		hi := 99.0 + float64(i)*0.0009 // A.price > ~99: ~1% admission
+		lo := 0.9 - float64(i)*0.0005  // B.price <= ~0.5: ~0.5% admission
+		qs[i] = query.MustParse(fmt.Sprintf(`
+			PATTERN A; B
+			WHERE A.price > %.4f AND B.price <= %.4f
+			WITHIN 20 units`, hi, lo))
+	}
+	return qs
+}
+
+// thresholdSymbols keeps the stream's partition cardinality comparable to
+// the fan-out workloads; the queries themselves are symbol-independent.
+const thresholdSymbols = 16
+
+// ThresholdEvents is the uniform stream for the threshold-family workload.
+func ThresholdEvents(n int) []*event.Event {
+	names := make([]string, thresholdSymbols)
+	weights := make([]float64, thresholdSymbols)
+	for i := range names {
+		names[i] = fmt.Sprintf("S%02d", i)
+		weights[i] = 1
+	}
+	return workload.GenStocks(workload.StockSpec{N: n, Seed: 53, Names: names, Weights: weights})
+}
+
+// ThresholdFamily sweeps the standing-query count from 256 to 1024 over
+// pure range-atom families and reports gen-1 (every distinct constant is an
+// interned residual, evaluated per event) vs gen-2 (one binary search per
+// event per direction) throughput. Expected shape: gen-1 degrades linearly
+// with the number of distinct thresholds while gen-2 stays near-flat; the
+// >=2x gap at 1024 queries is the PR 10 acceptance criterion.
+func ThresholdFamily(scale Scale) (*Result, error) {
+	res := &Result{ID: "threshold-family", Title: "range-atom dispatch: interned residuals (gen-1) vs sorted-threshold tables (gen-2), 256-1024 queries", ShowThroughput: true}
+	n := scale.n(20_000)
+	events := ThresholdEvents(n)
+	for _, nq := range []int{256, 512, 1024} {
+		qs := ThresholdQueries(nq)
+		s := Series{Label: fmt.Sprintf("%d queries", nq)}
+		for _, def := range []struct {
+			name    string
+			noRange bool
+		}{{"gen1-residual", true}, {"gen2-range", false}} {
+			rcfg := runtime.Config{Shards: 4, PartitionBy: "name", BatchSize: 4096, NoRangeDispatch: def.noRange}
+			run, err := runFanoutCfg(qs, rcfg, events)
+			if err != nil {
+				return nil, err
+			}
+			run.Plan = def.name
+			s.Runs = append(s.Runs, run)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Notes = append(res.Notes,
+		"expect: gen2 >= 2x gen1 at 1024 queries; gen2 residual evals are zero (dispatch cost independent of distinct-threshold count)")
+	return res, nil
+}

@@ -237,6 +237,9 @@ type RouterClass struct {
 	Class string `json:"class"`
 	// EqAtoms lists the equality predicates served by hash dispatch.
 	EqAtoms []string `json:"eq_atoms,omitempty"`
+	// RangeAtoms lists the comparison predicates served by sorted-threshold
+	// dispatch (or entry-level float compares for extra bounds).
+	RangeAtoms []string `json:"range_atoms,omitempty"`
 	// Residuals lists the predicates evaluated per event (memoized across
 	// subscriptions).
 	Residuals []string `json:"residuals,omitempty"`

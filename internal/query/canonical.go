@@ -95,6 +95,42 @@ func mirror(op CmpOp) CmpOp {
 	}
 }
 
+// RangeAtom recognizes the range-dispatchable form `alias.attr OP numlit`
+// (either orientation) for OP in <, <=, >, >=, and returns the attribute
+// name, the operator normalized to attribute-on-the-left (so `90 < A.price`
+// yields (price, >, 90)) and the numeric threshold. Only plain attribute
+// references against numeric literals qualify: arithmetic, aggregates,
+// string literals, attr-to-attr comparisons and =/!= do not. The returned
+// triple is alias- and orientation-independent — two predicates with equal
+// triples admit exactly the same events — so a router may key sorted
+// threshold tables on it (see FingerprintRangeAtom).
+func RangeAtom(c *Cmp) (attr string, op CmpOp, threshold float64, ok bool) {
+	switch c.Op {
+	case CmpLt, CmpLte, CmpGt, CmpGte:
+	default:
+		return "", 0, 0, false
+	}
+	if ar, isRef := c.L.(*AttrRef); isRef && ar.Attr != "" {
+		if lit, isNum := c.R.(*NumLit); isNum {
+			return ar.Attr, c.Op, lit.V, true
+		}
+	}
+	if ar, isRef := c.R.(*AttrRef); isRef && ar.Attr != "" {
+		if lit, isNum := c.L.(*NumLit); isNum {
+			return ar.Attr, mirror(c.Op), lit.V, true
+		}
+	}
+	return "", 0, 0, false
+}
+
+// FingerprintRangeAtom renders a normalized range atom canonically. For any
+// comparison RangeAtom accepts, the result equals FingerprintCmp's — the
+// attribute-bearing side serializes as `$.attr`, which orders before every
+// numeric serialization, so FingerprintCmp never swaps it to the right.
+func FingerprintRangeAtom(attr string, op CmpOp, threshold float64) string {
+	return "$." + attr + " " + op.String() + " " + strconv.FormatFloat(threshold, 'g', -1, 64)
+}
+
 // EqualityAtom recognizes the hash-dispatchable form `alias.attr = literal`
 // (either orientation) and returns the attribute name and the literal
 // expression (*NumLit or *StrLit). Only plain attribute references qualify;

@@ -1,0 +1,318 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+func TestRangeDispatchBasics(t *testing.T) {
+	r := New()
+	// 64 threshold-family queries: same shape, distinct constants. Under
+	// gen-2 none of them interns a residual atom, and routing one event
+	// costs one binary search (per direction), not 64 predicate evals.
+	for i := 0; i < 64; i++ {
+		r.Add(int64(i), info(t, fmt.Sprintf(
+			`PATTERN A; B WHERE A.price > %d AND B.name = 'X' WITHIN 10`, i)), nil)
+	}
+	if n := len(r.atomBy); n != 0 {
+		t.Fatalf("residual atoms = %d, want 0 (ranges dispatch, not intern)", n)
+	}
+	got := routeOne(r, event.NewStock(1, 1, 1, "X", 10.5, 1))
+	for i := 0; i < 64; i++ {
+		wantA := 10.5 > float64(i)
+		m := got[int64(i)]
+		if gotA := m&0b01 != 0; gotA != wantA {
+			t.Errorf("query %d (price > %d): A admitted = %v, want %v", i, i, gotA, wantA)
+		}
+		if m&0b10 == 0 {
+			t.Errorf("query %d: B bit missing from mask %b", i, m)
+		}
+	}
+	st := r.Stats()
+	if st.ResidualEvals != 0 {
+		t.Errorf("residual evals = %d, want 0", st.ResidualEvals)
+	}
+	if st.RangeProbes != 1 {
+		t.Errorf("range probes = %d, want 1 (one gt stab)", st.RangeProbes)
+	}
+	if n := r.RangeTableSize(); n != 64 {
+		t.Errorf("range table size = %d, want 64", n)
+	}
+}
+
+func TestRangeBoundarySemantics(t *testing.T) {
+	cases := []struct {
+		pred            string
+		below, at, over bool // admission at th-1, th, th+1 for th=50
+	}{
+		{`A.price < 50`, true, false, false},
+		{`A.price <= 50`, true, true, false},
+		{`A.price > 50`, false, false, true},
+		{`A.price >= 50`, false, true, true},
+		// literal-on-left orientation must normalize to the same atom
+		{`50 > A.price`, true, false, false},
+		{`50 >= A.price`, true, true, false},
+		{`50 < A.price`, false, false, true},
+		{`50 <= A.price`, false, true, true},
+	}
+	for _, tc := range cases {
+		r := New()
+		r.Add(1, info(t, fmt.Sprintf(`PATTERN A; B WHERE %s WITHIN 10`, tc.pred)), nil)
+		for i, want := range []bool{tc.below, tc.at, tc.over} {
+			price := float64(49 + i)
+			got := routeOne(r, event.NewStock(uint64(i+1), int64(i), 1, "X", price, 1))
+			if adm := got[1]&0b01 != 0; adm != want {
+				t.Errorf("%s at price=%g: admitted = %v, want %v", tc.pred, price, adm, want)
+			}
+		}
+	}
+}
+
+func TestRangeBetweenShape(t *testing.T) {
+	r := New()
+	// Two-sided conjunction: dispatches on the first range atom, checks the
+	// second as an entry-level compare.
+	r.Add(1, info(t, `PATTERN A; B WHERE A.price > 10 AND A.price <= 20 WITHIN 10`), nil)
+	for _, tc := range []struct {
+		price float64
+		want  bool
+	}{{10, false}, {10.5, true}, {20, true}, {20.5, false}, {5, false}} {
+		got := routeOne(r, event.NewStock(1, 1, 1, "X", tc.price, 1))
+		if adm := got[1]&0b01 != 0; adm != tc.want {
+			t.Errorf("10 < price <= 20 at %g: admitted = %v, want %v", tc.price, adm, tc.want)
+		}
+	}
+}
+
+func TestRangeDuplicateThresholds(t *testing.T) {
+	r := New()
+	// Four queries sharing one threshold, differing only in strictness and
+	// direction: the equal-threshold walk must filter by inclusivity.
+	r.Add(1, info(t, `PATTERN A; B WHERE A.price > 50 WITHIN 10`), nil)
+	r.Add(2, info(t, `PATTERN A; B WHERE A.price >= 50 WITHIN 10`), nil)
+	r.Add(3, info(t, `PATTERN A; B WHERE A.price < 50 WITHIN 10`), nil)
+	r.Add(4, info(t, `PATTERN A; B WHERE A.price <= 50 WITHIN 10`), nil)
+	got := routeOne(r, event.NewStock(1, 1, 1, "X", 50, 1))
+	for id, want := range map[int64]bool{1: false, 2: true, 3: false, 4: true} {
+		if adm := got[id]&0b01 != 0; adm != want {
+			t.Errorf("query %d at price=50: admitted = %v, want %v", id, adm, want)
+		}
+	}
+}
+
+func TestRangeChurnIncremental(t *testing.T) {
+	r := New()
+	r.Add(1, info(t, `PATTERN A; B WHERE A.price > 10 WITHIN 10`), nil)
+	ev := event.NewStock(1, 1, 1, "X", 95, 1)
+	if got := routeOne(r, ev); got[1]&0b01 == 0 {
+		t.Fatalf("query 1 not admitted: %v", got)
+	}
+	// Incremental Add must land in the already-compiled table.
+	r.Add(2, info(t, `PATTERN A; B WHERE A.price > 20 WITHIN 10`), nil)
+	if got := routeOne(r, ev); got[2]&0b01 == 0 {
+		t.Fatalf("incrementally added query 2 not admitted: %v", got)
+	}
+	if n := r.RangeTableSize(); n != 2 {
+		t.Errorf("range table size = %d, want 2", n)
+	}
+	r.Remove(1)
+	got := routeOne(r, ev)
+	if _, ok := got[1]; ok {
+		t.Errorf("removed query 1 still delivered: %v", got)
+	}
+	if got[2]&0b01 == 0 {
+		t.Errorf("query 2 lost after removing 1: %v", got)
+	}
+	if n := r.RangeTableSize(); n != 1 {
+		t.Errorf("range table size after remove = %d, want 1", n)
+	}
+}
+
+func TestRangeDescribeReportsAtoms(t *testing.T) {
+	r := New()
+	r.Add(1, info(t, `PATTERN A; B WHERE A.name = 'IBM' AND A.price > 90 AND A.price * A.volume > 5 WITHIN 10`), nil)
+	si, ok := r.Describe(1)
+	if !ok {
+		t.Fatal("Describe failed")
+	}
+	a := si.Classes[0]
+	if len(a.EqAtoms) != 1 || len(a.RangeAtoms) != 1 || len(a.Residual) != 1 {
+		t.Fatalf("class A atoms eq=%v range=%v resid=%v, want 1 of each", a.EqAtoms, a.RangeAtoms, a.Residual)
+	}
+	if a.RangeAtoms[0] != "A.price > 90" {
+		t.Errorf("range atom text = %q", a.RangeAtoms[0])
+	}
+}
+
+func TestRangeTsStaysResidual(t *testing.T) {
+	r := New()
+	// ts is a pseudo-attribute with no schema position: a ts comparison
+	// must take the residual path, not the threshold table.
+	r.Add(1, info(t, `PATTERN A; B WHERE A.ts > 5 WITHIN 10`), nil)
+	if n := len(r.atomBy); n != 1 {
+		t.Fatalf("residual atoms = %d, want 1 (ts comparison)", n)
+	}
+	if got := routeOne(r, event.NewStock(1, 7, 1, "X", 50, 1)); got[1]&0b01 == 0 {
+		t.Errorf("ts=7 not admitted for ts > 5: %v", got)
+	}
+	if got := routeOne(r, event.NewStock(2, 3, 1, "X", 50, 1)); got[1]&0b01 != 0 {
+		t.Errorf("ts=3 admitted for ts > 5: %v", got)
+	}
+}
+
+func TestRangeDisableFallsBackToResidual(t *testing.T) {
+	r := New()
+	r.DisableRangeDispatch()
+	r.Add(1, info(t, `PATTERN A; B WHERE A.price > 90 WITHIN 10`), nil)
+	if n := len(r.atomBy); n != 1 {
+		t.Fatalf("gen-1 mode residual atoms = %d, want 1", n)
+	}
+	if got := routeOne(r, event.NewStock(1, 1, 1, "X", 95, 1)); got[1]&0b01 == 0 {
+		t.Errorf("gen-1 mode did not admit: %v", got)
+	}
+	if st := r.Stats(); st.RangeProbes != 0 || st.ResidualEvals != 1 {
+		t.Errorf("gen-1 stats = %+v, want 0 probes / 1 residual eval", st)
+	}
+}
+
+// TestRangePropertyMatchesExprEval is the satellite property test: for
+// generated threshold sets (duplicates, negatives, zero, int- and
+// float-valued) and probe values sitting exactly on, just off, and far from
+// every boundary, range-dispatch admission must equal direct expr
+// evaluation of the same comparison.
+func TestRangePropertyMatchesExprEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ops := []string{"<", "<=", ">", ">="}
+	for trial := 0; trial < 20; trial++ {
+		nq := 1 + rng.Intn(24)
+		type q struct {
+			op string
+			th float64
+		}
+		qs := make([]q, nq)
+		thPool := []float64{-100, -1.5, -1, 0, 0.5, 1, 2, 50, 50.5, 1e6}
+		for i := range qs {
+			th := thPool[rng.Intn(len(thPool))]
+			if rng.Intn(3) == 0 {
+				th = float64(rng.Intn(200) - 100) // force duplicate-ish ints
+			}
+			qs[i] = q{op: ops[rng.Intn(len(ops))], th: th}
+		}
+		r := New()
+		preds := make([]expr.Predicate, nq)
+		for i, qq := range qs {
+			// 'f' formatting: the grammar has no exponent literals.
+			src := fmt.Sprintf(`PATTERN A; B WHERE A.price %s %s WITHIN 10`,
+				qq.op, strconv.FormatFloat(qq.th, 'f', -1, 64))
+			qi := info(t, src)
+			r.Add(int64(i), qi, nil)
+			var cmp *query.Cmp
+			for _, pi := range qi.Preds {
+				cmp = pi.Cmp
+			}
+			p, err := expr.CompilePred(cmp)
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			preds[i] = p
+		}
+		// Probe every threshold exactly, ±epsilon, ±1, plus random values.
+		var probes []float64
+		for _, qq := range qs {
+			probes = append(probes, qq.th, qq.th-0.25, qq.th+0.25, qq.th-1, qq.th+1)
+		}
+		for i := 0; i < 16; i++ {
+			probes = append(probes, (rng.Float64()-0.5)*300)
+		}
+		for pi, v := range probes {
+			ev := event.NewStock(uint64(pi+1), int64(pi), 1, "X", v, 1)
+			got := routeOne(r, ev)
+			for i := range qs {
+				env := expr.EventEnv{Class: 0, E: ev}
+				want := preds[i](&env)
+				if adm := got[int64(i)]&0b01 != 0; adm != want {
+					t.Fatalf("trial %d: price %s %g at v=%g: dispatch=%v expr=%v",
+						trial, qs[i].op, qs[i].th, v, adm, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntFloatLiteralCoherence is the satellite cross-layer regression:
+// an integer-typed event value, a float literal of equal numeric value, and
+// an int literal must agree across (1) expr comparison eval, (2) the
+// eq-dispatch map key, and (3) sorted-threshold keys. event.Int stores
+// KindFloat, so all three layers compare float64s — this pins that.
+func TestIntFloatLiteralCoherence(t *testing.T) {
+	r := New()
+	r.Add(1, info(t, `PATTERN A; B WHERE A.volume = 5 WITHIN 10`), nil)   // eq, int literal
+	r.Add(2, info(t, `PATTERN A; B WHERE A.volume = 5.0 WITHIN 10`), nil) // eq, float literal
+	r.Add(3, info(t, `PATTERN A; B WHERE A.volume >= 5 WITHIN 10`), nil)  // range, int literal
+	r.Add(4, info(t, `PATTERN A; B WHERE A.volume >= 5.0 WITHIN 10`), nil)
+
+	// volume arrives as event.Int (KindFloat under the hood) via NewStock.
+	got := routeOne(r, event.NewStock(1, 1, 1, "X", 10, 5))
+	for id := int64(1); id <= 4; id++ {
+		if got[id]&0b01 == 0 {
+			t.Errorf("query %d: int-valued volume=5 not admitted (mask %b)", id, got[id])
+		}
+	}
+	// And an explicitly Int-constructed value must hit the same map keys.
+	ev := event.MustNew(event.Stock, 2, event.Int(1), event.Str("X"), event.Float(10), event.Int(5))
+	ev.Seq = 2
+	got = routeOne(r, ev)
+	for id := int64(1); id <= 4; id++ {
+		if got[id]&0b01 == 0 {
+			t.Errorf("query %d: event.Int(5) volume not admitted (mask %b)", id, got[id])
+		}
+	}
+	// expr eval agrees with both.
+	qi := info(t, `PATTERN A; B WHERE A.volume = 5 WITHIN 10`)
+	var cmp *query.Cmp
+	for _, pi := range qi.Preds {
+		cmp = pi.Cmp
+	}
+	p, err := expr.CompilePred(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := expr.EventEnv{Class: 0, E: ev}
+	if !p(&env) {
+		t.Error("expr eval rejects event.Int(5) = 5")
+	}
+}
+
+// TestRangeFingerprintMatchesCmp pins that FingerprintRangeAtom produces
+// byte-identical output to FingerprintCmp for any comparison RangeAtom
+// accepts, in either orientation — the invariant that lets range and
+// residual layers share one canonical atom identity.
+func TestRangeFingerprintMatchesCmp(t *testing.T) {
+	for _, src := range []string{
+		`PATTERN A; B WHERE A.price > 90 WITHIN 10`,
+		`PATTERN A; B WHERE 90 < A.price WITHIN 10`,
+		`PATTERN A; B WHERE A.price <= -2.5 WITHIN 10`,
+		`PATTERN A; B WHERE 0 >= A.volume WITHIN 10`,
+	} {
+		qi := info(t, src)
+		for _, pi := range qi.Preds {
+			attr, op, th, ok := query.RangeAtom(pi.Cmp)
+			if !ok {
+				t.Fatalf("%s: RangeAtom rejected %s", src, pi.Cmp)
+			}
+			want, canonical := query.FingerprintCmp(pi.Cmp)
+			if !canonical {
+				t.Fatalf("%s: not canonical", src)
+			}
+			if got := query.FingerprintRangeAtom(attr, op, th); got != want {
+				t.Errorf("%s: FingerprintRangeAtom = %q, FingerprintCmp = %q", src, got, want)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"math/bits"
+	"slices"
 
 	"repro/internal/event"
 	"repro/internal/expr"
@@ -34,6 +35,7 @@ type Stats struct {
 	Events        uint64 // events routed
 	Deliveries    uint64 // (subscriber, event) pairs yielded
 	ResidualEvals uint64 // deduped residual predicate evaluations
+	RangeProbes   uint64 // sorted-threshold table stabs (binary searches)
 }
 
 // eqAtom is one `attr = const` admission atom, by attribute name
@@ -44,11 +46,25 @@ type eqAtom struct {
 	text string // predicate source text, for EXPLAIN
 }
 
+// rangeAtom is one `attr OP const` admission atom (OP in <, <=, >, >=),
+// normalized attribute-on-the-left by query.RangeAtom. Range atoms compile
+// into per-schema sorted-threshold tables: one binary search per event per
+// (attr, direction) replaces one interned-residual evaluation per distinct
+// constant, so a family of thousands of threshold-alert queries costs
+// O(log thresholds + admitted) instead of O(distinct thresholds).
+type rangeAtom struct {
+	attr string
+	op   query.CmpOp // CmpLt/CmpLte/CmpGt/CmpGte, attr on the left
+	th   float64
+	text string // predicate source text, for EXPLAIN
+}
+
 // classAdm is the compiled admission condition of one query class: all eq
-// atoms and all residual atoms must hold.
+// atoms, all range atoms and all residual atoms must hold.
 type classAdm struct {
 	bit   uint64
 	eqs   []eqAtom
+	rngs  []rangeAtom
 	resid []int // indices into Router.atoms
 }
 
@@ -92,18 +108,28 @@ type atom struct {
 }
 
 // entry is one (subscriber, class) admission check in a compiled schema
-// table: the remaining eq atoms (beyond the dispatch atom, if any) plus the
-// residual atom set.
+// table: the remaining eq and range atoms (beyond the dispatch atom, if
+// any) plus the residual atom set.
 type entry struct {
-	s     *sub
-	bit   uint64
-	extra []resolvedEq
-	resid []int
+	s        *sub
+	bit      uint64
+	extra    []resolvedEq
+	extraRng []resolvedRange
+	resid    []int
 }
 
 type resolvedEq struct {
 	idx int // value position in the schema
 	val event.Value
+}
+
+// resolvedRange is an entry-level range check: the second side of a
+// BETWEEN-shaped conjunction, or a range atom on a class whose dispatch is
+// served by an eq atom. One float compare per candidate entry.
+type resolvedRange struct {
+	idx int // value position in the schema
+	op  query.CmpOp
+	th  float64
 }
 
 // dispatchGroup hash-dispatches on one attribute position: the event's
@@ -113,11 +139,34 @@ type dispatchGroup struct {
 	byVal map[event.Value][]entry
 }
 
+// rangeEntry is one subscriber entry keyed by its dispatch threshold in a
+// sorted-threshold list. incl marks an inclusive bound (<= / >=): an event
+// whose value equals th admits the entry only when incl is set.
+type rangeEntry struct {
+	th   float64
+	incl bool
+	e    entry
+}
+
+// rangeGroup range-dispatches on one attribute position: gt holds entries
+// whose dispatch atom is `attr > th` / `attr >= th`, lt entries with
+// `attr < th` / `attr <= th`, each sorted ascending by threshold. An event
+// value v stabs each side with one binary search: gt admits the prefix of
+// thresholds below v, lt the suffix above it, with equal thresholds
+// filtered by incl. Enumerating the admitted segment is O(answers) — work
+// any dispatch scheme pays — while rejected thresholds cost nothing.
+type rangeGroup struct {
+	idx int
+	gt  []rangeEntry
+	lt  []rangeEntry
+}
+
 // schemaTable is the index specialized to one event schema. Tables are
 // compiled lazily on first sight of a schema and invalidated by
 // Add/Remove.
 type schemaTable struct {
 	groups []dispatchGroup
+	ranges []rangeGroup
 	scan   []entry // residual-only classes: checked for every event
 }
 
@@ -141,6 +190,10 @@ type Router struct {
 	lastTable  *schemaTable
 	epoch      uint64
 	stats      Stats
+	// noRange forces range atoms back onto the interned-residual path (the
+	// generation-1 router). Kept for differential testing: generation-2
+	// dispatch is semantics-preserving, so production routers leave it off.
+	noRange bool
 
 	// reused scratch: subs admitted for the current event / batch, and the
 	// returned batch headers.
@@ -157,6 +210,12 @@ func New() *Router {
 		tables: map[*event.Schema]*schemaTable{},
 	}
 }
+
+// DisableRangeDispatch reverts the router to generation-1 behavior: range
+// atoms are interned as residual predicates and evaluated once per distinct
+// constant per event, instead of compiling into sorted-threshold tables.
+// Must be called before the first Add; exists for differential testing.
+func (r *Router) DisableRangeDispatch() { r.noRange = true }
 
 // Add registers a query's admission predicates under id. The payload rides
 // along in SubBatch for the caller's dispatch (e.g. the engine). Existing
@@ -239,6 +298,12 @@ func (r *Router) compileClasses(info *query.Info) (classes []classAdm, always ui
 				ca.eqs = append(ca.eqs, eqAtom{attr: attr, val: litValue(lit), text: pi.Cmp.String()})
 				continue
 			}
+			// ts is a pseudo-attribute, not a schema value position, so ts
+			// comparisons stay residual (same rule as eq atoms above).
+			if attr, op, th, ok := query.RangeAtom(pi.Cmp); ok && attr != expr.TsAttr && !r.noRange {
+				ca.rngs = append(ca.rngs, rangeAtom{attr: attr, op: op, th: th, text: pi.Cmp.String()})
+				continue
+			}
 			ai, ok := r.atomFor(pi.Cmp, ci.Idx)
 			if !ok {
 				// roll back the refs this compilation took
@@ -254,7 +319,7 @@ func (r *Router) compileClasses(info *query.Info) (classes []classAdm, always ui
 			}
 			ca.resid = append(ca.resid, ai)
 		}
-		if len(ca.eqs) == 0 && len(ca.resid) == 0 {
+		if len(ca.eqs) == 0 && len(ca.rngs) == 0 && len(ca.resid) == 0 {
 			always |= ca.bit
 			continue
 		}
@@ -348,12 +413,17 @@ func (r *Router) tableFor(sc *event.Schema) *schemaTable {
 }
 
 // addToTable integrates one subscription into a schema table. A class with
-// an eq atom whose attribute the schema lacks can never admit an event of
-// that schema (a null value equals no literal) and contributes nothing.
+// an eq or range atom whose attribute the schema lacks can never admit an
+// event of that schema (a null value satisfies no comparison) and
+// contributes nothing. Dispatch preference per class: the first eq atom
+// (hash lookup) when one exists, else the first range atom (sorted-
+// threshold stab); every remaining atom of either kind becomes an O(1)
+// entry-level check — a BETWEEN-shaped `attr > a AND attr < b` pair
+// dispatches on the lower bound and checks the upper per candidate.
 func (r *Router) addToTable(t *schemaTable, s *sub, sc *event.Schema) {
 	for i := range s.classes {
 		ca := &s.classes[i]
-		if len(ca.eqs) == 0 {
+		if len(ca.eqs) == 0 && len(ca.rngs) == 0 {
 			t.scan = append(t.scan, entry{s: s, bit: ca.bit, resid: ca.resid})
 			continue
 		}
@@ -375,9 +445,53 @@ func (r *Router) addToTable(t *schemaTable, s *sub, sc *event.Schema) {
 		if !reachable {
 			continue
 		}
-		g := t.group(dispatchIdx)
-		g.byVal[dispatchVal] = append(g.byVal[dispatchVal], e)
+		rngDispatch := -1 // index into ca.rngs of the range dispatch atom
+		var rngDispatchIdx int
+		for ri, rng := range ca.rngs {
+			idx := sc.Index(rng.attr)
+			if idx < 0 {
+				reachable = false
+				break
+			}
+			if dispatchIdx < 0 && rngDispatch < 0 {
+				rngDispatch, rngDispatchIdx = ri, idx
+				continue
+			}
+			e.extraRng = append(e.extraRng, resolvedRange{idx: idx, op: rng.op, th: rng.th})
+		}
+		if !reachable {
+			continue
+		}
+		if dispatchIdx >= 0 {
+			g := t.group(dispatchIdx)
+			g.byVal[dispatchVal] = append(g.byVal[dispatchVal], e)
+			continue
+		}
+		rng := ca.rngs[rngDispatch]
+		g := t.rangeGroup(rngDispatchIdx)
+		re := rangeEntry{th: rng.th, incl: rng.op == query.CmpLte || rng.op == query.CmpGte, e: e}
+		if rng.op == query.CmpGt || rng.op == query.CmpGte {
+			g.gt = insertSorted(g.gt, re)
+		} else {
+			g.lt = insertSorted(g.lt, re)
+		}
 	}
+}
+
+// insertSorted places re into a threshold-ascending list, keeping
+// registration order among equal thresholds (append semantics) so delivery
+// sets stay registration-stable under churn.
+func insertSorted(list []rangeEntry, re rangeEntry) []rangeEntry {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].th <= re.th {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return slices.Insert(list, lo, re)
 }
 
 func (t *schemaTable) group(idx int) *dispatchGroup {
@@ -388,6 +502,16 @@ func (t *schemaTable) group(idx int) *dispatchGroup {
 	}
 	t.groups = append(t.groups, dispatchGroup{idx: idx, byVal: map[event.Value][]entry{}})
 	return &t.groups[len(t.groups)-1]
+}
+
+func (t *schemaTable) rangeGroup(idx int) *rangeGroup {
+	for i := range t.ranges {
+		if t.ranges[i].idx == idx {
+			return &t.ranges[i]
+		}
+	}
+	t.ranges = append(t.ranges, rangeGroup{idx: idx})
+	return &t.ranges[len(t.ranges)-1]
 }
 
 // Route classifies a batch of events and returns one mini-batch per
@@ -426,6 +550,9 @@ func (r *Router) Route(events []*event.Event) []SubBatch {
 				}
 			}
 		}
+		for gi := range t.ranges {
+			r.stabRange(&t.ranges[gi], ev)
+		}
 		for i := range t.scan {
 			r.tryEntry(&t.scan[i], ev)
 		}
@@ -462,10 +589,72 @@ func (r *Router) admit(s *sub, bits uint64) {
 	s.mask |= bits
 }
 
+// stabRange admits the entries of one sorted-threshold group for the
+// current event: one binary search per populated direction, then a linear
+// walk over exactly the admitted segment. Non-numeric (or null) values
+// satisfy no comparison and skip the group outright.
+func (r *Router) stabRange(g *rangeGroup, ev *event.Event) {
+	v := ev.Vals[g.idx]
+	if v.Kind != event.KindFloat {
+		return
+	}
+	f := v.F
+	if n := len(g.gt); n > 0 {
+		// First threshold >= f: everything left of it is strictly below f.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if g.gt[mid].th < f {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for i := 0; i < lo; i++ {
+			r.tryEntry(&g.gt[i].e, ev)
+		}
+		// Equal thresholds admit only inclusive (>=) entries.
+		for i := lo; i < n && g.gt[i].th == f; i++ {
+			if g.gt[i].incl {
+				r.tryEntry(&g.gt[i].e, ev)
+			}
+		}
+		r.stats.RangeProbes++
+	}
+	if n := len(g.lt); n > 0 {
+		// First threshold > f: everything right of it is strictly above f.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if g.lt[mid].th <= f {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for i := lo; i < n; i++ {
+			r.tryEntry(&g.lt[i].e, ev)
+		}
+		// Equal thresholds admit only inclusive (<=) entries.
+		for i := lo - 1; i >= 0 && g.lt[i].th == f; i-- {
+			if g.lt[i].incl {
+				r.tryEntry(&g.lt[i].e, ev)
+			}
+		}
+		r.stats.RangeProbes++
+	}
+}
+
 // tryEntry checks one (subscriber, class) condition against the event.
 func (r *Router) tryEntry(e *entry, ev *event.Event) {
 	for _, x := range e.extra {
 		if !ev.Vals[x.idx].Equal(x.val) {
+			return
+		}
+	}
+	for _, x := range e.extraRng {
+		v := ev.Vals[x.idx]
+		if v.Kind != event.KindFloat || !cmpFloat(v.F, x.op, x.th) {
 			return
 		}
 	}
@@ -475,6 +664,22 @@ func (r *Router) tryEntry(e *entry, ev *event.Event) {
 		}
 	}
 	r.admit(e.s, e.bit)
+}
+
+// cmpFloat applies one normalized range operator. It mirrors
+// expr.CompilePred's numeric comparison exactly: the admission a threshold
+// table proves must equal what the engine's own leaf filter would compute.
+func cmpFloat(v float64, op query.CmpOp, th float64) bool {
+	switch op {
+	case query.CmpLt:
+		return v < th
+	case query.CmpLte:
+		return v <= th
+	case query.CmpGt:
+		return v > th
+	default:
+		return v >= th
+	}
 }
 
 // evalAtom evaluates a residual predicate at most once per event.
@@ -497,7 +702,10 @@ type ClassAdmission struct {
 	Class int
 	// EqAtoms are the hash-dispatchable `attr = const` predicate texts.
 	EqAtoms []string
-	// Residual are the interned non-equality predicate texts.
+	// RangeAtoms are the `attr OP const` predicate texts served by
+	// sorted-threshold dispatch (or entry-level float compares).
+	RangeAtoms []string
+	// Residual are the interned predicate texts evaluated per event.
 	Residual []string
 	// Always reports an unconditional class (no single-class predicates).
 	Always bool
@@ -541,6 +749,9 @@ func (r *Router) Describe(id int64) (SubInfo, bool) {
 		for _, eq := range ca.eqs {
 			si.Classes[cls].EqAtoms = append(si.Classes[cls].EqAtoms, eq.text)
 		}
+		for _, rng := range ca.rngs {
+			si.Classes[cls].RangeAtoms = append(si.Classes[cls].RangeAtoms, rng.text)
+		}
 		for _, ai := range ca.resid {
 			si.Classes[cls].Residual = append(si.Classes[cls].Residual, r.atoms[ai].text)
 		}
@@ -553,3 +764,16 @@ func (r *Router) Stats() Stats { return r.stats }
 
 // Subs returns the number of live subscriptions.
 func (r *Router) Subs() int { return len(r.subs) }
+
+// RangeTableSize returns the total entry count across every compiled
+// sorted-threshold list (all cached schema tables, both directions): the
+// live size of the range-dispatch index, for the metrics surface.
+func (r *Router) RangeTableSize() int {
+	n := 0
+	for _, t := range r.tables {
+		for i := range t.ranges {
+			n += len(t.ranges[i].gt) + len(t.ranges[i].lt)
+		}
+	}
+	return n
+}

@@ -47,10 +47,11 @@ func TestEqualityDispatch(t *testing.T) {
 func TestResidualDedupe(t *testing.T) {
 	r := New()
 	// 8 queries over different symbols share the identical residual
-	// "price > 90" on both classes (different aliases, same fingerprint).
+	// "price * volume > 90" on both classes (different aliases, same
+	// fingerprint; the arithmetic keeps it off the range-dispatch path).
 	for i := 0; i < 8; i++ {
-		src := fmt.Sprintf(`PATTERN L%d; H%d WHERE L%d.name = 'S%d' AND L%d.price > 90
-			AND H%d.name = 'S%d' AND H%d.price > 90 WITHIN 10`, i, i, i, i, i, i, i, i)
+		src := fmt.Sprintf(`PATTERN L%d; H%d WHERE L%d.name = 'S%d' AND L%d.price * L%d.volume > 90
+			AND H%d.name = 'S%d' AND H%d.price * H%d.volume > 90 WITHIN 10`, i, i, i, i, i, i, i, i, i, i)
 		r.Add(int64(i), info(t, src), nil)
 	}
 	if n := len(r.atomBy); n != 1 {
@@ -140,8 +141,8 @@ func TestSchemaLazinessAndMissingAttr(t *testing.T) {
 
 func TestRemoveReleasesAtomsAndStopsDelivery(t *testing.T) {
 	r := New()
-	r.Add(1, info(t, `PATTERN A; B WHERE A.name = 'IBM' AND A.price > 90 AND B.name = 'IBM' WITHIN 10`), nil)
-	r.Add(2, info(t, `PATTERN X; Y WHERE X.name = 'IBM' AND X.price > 90 AND Y.name = 'IBM' WITHIN 10`), nil)
+	r.Add(1, info(t, `PATTERN A; B WHERE A.name = 'IBM' AND A.price * A.volume > 90 AND B.name = 'IBM' WITHIN 10`), nil)
+	r.Add(2, info(t, `PATTERN X; Y WHERE X.name = 'IBM' AND X.price * X.volume > 90 AND Y.name = 'IBM' WITHIN 10`), nil)
 	if n := len(r.atomBy); n != 1 {
 		t.Fatalf("atoms = %d, want 1 shared", n)
 	}
@@ -173,6 +174,11 @@ func TestRouteSteadyStateZeroAllocs(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		r.Add(int64(i), info(t, fmt.Sprintf(
 			`PATTERN A; B WHERE A.name = 'S%02d' AND A.price > 90 AND B.name = 'S%02d' WITHIN 10`, i%16, i%16)), nil)
+	}
+	// Pure threshold-family queries exercise the sorted-threshold stab path.
+	for i := 0; i < 64; i++ {
+		r.Add(int64(64+i), info(t, fmt.Sprintf(
+			`PATTERN A; B WHERE A.price > %d AND A.price <= %d WITHIN 10`, i, i+10)), nil)
 	}
 	events := make([]*event.Event, 256)
 	for i := range events {

@@ -46,8 +46,10 @@ type prodTotals struct {
 type shardSnap struct {
 	shard       int
 	routerStats router.Stats
-	groups      []groupTotals
-	prods       []prodTotals
+	// rangeEntries is the shard router's live sorted-threshold entry count.
+	rangeEntries int
+	groups       []groupTotals
+	prods        []prodTotals
 
 	// EXPLAIN capture (snapOp.gid != 0):
 	found       bool
@@ -62,6 +64,7 @@ func (w *worker) snapshot(op *snapOp) {
 	s := shardSnap{shard: w.id}
 	if w.router != nil {
 		s.routerStats = w.router.Stats()
+		s.rangeEntries = w.router.RangeTableSize()
 	}
 	for _, g := range w.groups {
 		s.groups = append(s.groups, groupTotals{gid: g.gid, totals: g.eng.OperatorTotals()})
@@ -266,6 +269,7 @@ func (rt *Runtime) routerSection(q *query.Query, snaps []shardSnap, leafSeen, le
 		r.Classes = append(r.Classes, explain.RouterClass{
 			Class:         q.Info.Classes[ca.Class].Alias,
 			EqAtoms:       ca.EqAtoms,
+			RangeAtoms:    ca.RangeAtoms,
 			Residuals:     ca.Residual,
 			Always:        ca.Always,
 			Admitted:      admitted[ca.Class],
@@ -315,6 +319,12 @@ type RouterMetrics struct {
 	Deliveries uint64
 	// ResidualEvals counts deduplicated residual predicate evaluations.
 	ResidualEvals uint64
+	// RangeProbes counts sorted-threshold table stabs (one binary search
+	// per populated direction per event per range-dispatched attribute).
+	RangeProbes uint64
+	// RangeTableEntries is the live sorted-threshold entry count summed
+	// across shards and cached schema tables (a gauge, not a counter).
+	RangeTableEntries uint64
 }
 
 // Metrics is a consistent runtime-wide observability snapshot: the
@@ -365,6 +375,8 @@ func (rt *Runtime) Metrics() Metrics {
 		m.Router.Events += s.routerStats.Events
 		m.Router.Deliveries += s.routerStats.Deliveries
 		m.Router.ResidualEvals += s.routerStats.ResidualEvals
+		m.Router.RangeProbes += s.routerStats.RangeProbes
+		m.Router.RangeTableEntries += uint64(s.rangeEntries)
 		for _, gt := range s.groups {
 			t := byGID[gt.gid]
 			t.In += gt.totals.In
@@ -496,6 +508,10 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	p.val("zstream_router_deliveries_total", "", m.Router.Deliveries)
 	p.family("zstream_router_residual_evals_total", "Deduplicated residual predicate evaluations.", "counter")
 	p.val("zstream_router_residual_evals_total", "", m.Router.ResidualEvals)
+	p.family("zstream_router_range_probes_total", "Sorted-threshold table stabs (binary searches) by the routers.", "counter")
+	p.val("zstream_router_range_probes_total", "", m.Router.RangeProbes)
+	p.family("zstream_router_range_table_entries", "Live sorted-threshold entries across shard routers and cached schema tables.", "gauge")
+	p.val("zstream_router_range_table_entries", "", m.Router.RangeTableEntries)
 
 	ql := func(q QueryMetrics) string {
 		return fmt.Sprintf(`{query="%d",group="%d"}`, q.ID, q.GroupID)

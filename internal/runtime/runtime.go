@@ -84,6 +84,12 @@ type Config struct {
 	// differential testing (and as an escape hatch); the router is
 	// semantics-preserving, so production runs should leave this false.
 	NaiveFanout bool
+	// NoRangeDispatch reverts the router to generation-1 behavior: range
+	// atoms (`attr > const` etc.) are interned as residual predicates and
+	// evaluated once per distinct constant per event instead of compiling
+	// into sorted-threshold tables. Semantics-preserving; exists for
+	// differential testing and benchmarking the gen-2 win.
+	NoRangeDispatch bool
 	// NoSharing disables cross-query execution sharing: whole-query dedupe
 	// (textually identical queries aliased onto one engine with match
 	// fan-out) and shared-subplan prefixes (identical canonical class
@@ -335,6 +341,9 @@ func New(cfg Config) *Runtime {
 			faults: rt.faults, inj: cfg.Injector, crashing: &rt.crashing}
 		if !cfg.NaiveFanout {
 			w.router = router.New()
+			if cfg.NoRangeDispatch {
+				w.router.DisableRangeDispatch()
+			}
 		}
 		rt.workers = append(rt.workers, w)
 		go w.run(rt.mergeCh)
